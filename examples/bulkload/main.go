@@ -1,0 +1,69 @@
+// Bulkload reproduces the paper's headline scenario end to end: an
+// insert-only workload on a simulated SSD, run once under the conventional
+// Sequential Compaction Procedure and once under the Pipelined Compaction
+// Procedure, printing insert throughput and compaction bandwidth for both.
+//
+// Run with:
+//
+//	go run ./examples/bulkload              # default: 60k entries, ssd
+//	go run ./examples/bulkload -n 200000 -device hdd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pcplsm"
+	"pcplsm/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 60_000, "entries to insert")
+	device := flag.String("device", "ssd", "simulated device: hdd, ssd, nvme")
+	flag.Parse()
+
+	for _, mode := range []string{"scp", "pcp"} {
+		iops, cbw, stats := runLoad(*n, *device, mode)
+		fmt.Printf("%s: %8.0f inserts/s   compaction %6.1f MiB/s   (%d compactions, breakdown %v)\n",
+			mode, iops, cbw/(1<<20), stats.Compactions, stats.CompactionSteps.Breakdown())
+	}
+	fmt.Println("\nThe pipelined procedure overlaps the read, compute and write steps of")
+	fmt.Println("independent sub-key-ranges, so the same hardware compacts faster and")
+	fmt.Println("stalls foreground writes less — the paper's Figure 10.")
+}
+
+// runLoad loads n entries into a fresh simulated store and returns insert
+// throughput, compaction bandwidth, and the final stats.
+func runLoad(n int, device, mode string) (iops, cbw float64, st pcplsm.Stats) {
+	db, err := pcplsm.Open(pcplsm.Options{
+		Simulate: &pcplsm.SimulatedStorage{Device: device, TimeScale: 1.0},
+		// Scaled-down geometry so a laptop-sized run sees many compactions.
+		MemtableBytes: 512 << 10,
+		TableBytes:    512 << 10,
+		Compaction:    pcplsm.Compaction{Mode: mode, SubtaskBytes: 256 << 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	gen := workload.New(workload.Config{Entries: n, ValueSize: 100, Seed: 42})
+	start := time.Now()
+	for {
+		k, v, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := db.Put(k, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	st = db.Stats()
+	return float64(n) / elapsed.Seconds(), st.CompactionBandwidth(), st
+}

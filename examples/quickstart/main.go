@@ -1,0 +1,67 @@
+// Quickstart: open a store, write, read, scan, and inspect the compaction
+// statistics that this library exists to improve.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcplsm"
+)
+
+func main() {
+	// An in-memory store with default settings: PCP compaction, 4 MiB
+	// memtable, 2 MiB tables, 4 KiB blocks, snappy — the paper's setup.
+	db, err := pcplsm.Open(pcplsm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Single writes.
+	if err := db.Put([]byte("greeting"), []byte("hello, LSM")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := db.Get([]byte("greeting"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greeting = %s\n", v)
+
+	// Atomic batches.
+	var b pcplsm.Batch
+	for i := 0; i < 5; i++ {
+		b.Put([]byte(fmt.Sprintf("user%02d", i)), []byte(fmt.Sprintf("profile-%d", i)))
+	}
+	b.Delete([]byte("user03"))
+	if err := db.Write(&b); err != nil {
+		log.Fatal(err)
+	}
+
+	// Deletes hide keys.
+	if _, err := db.Get([]byte("user03")); pcplsm.IsNotFound(err) {
+		fmt.Println("user03 deleted, as requested")
+	}
+
+	// Ordered scans over a snapshot.
+	it, err := db.NewIterator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer it.Close()
+	fmt.Println("scan user*:")
+	for ok := it.Seek([]byte("user")); ok; ok = it.Next() {
+		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
+	}
+
+	// Force the memtable down to disk tables and show the tree.
+	if err := db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tables per level: %v\n", db.Levels())
+	fmt.Printf("stats: %v\n", db.Stats())
+}

@@ -1,0 +1,83 @@
+// Tuning demonstrates the paper's §IV-C parameter study on your own
+// machine: it sweeps the pipeline's sub-task size and its parallelism knobs
+// over one fixed workload and prints where the sweet spots fall, together
+// with what the analytical model (Equations 1–7) predicts.
+//
+// Run with:
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pcplsm"
+	"pcplsm/internal/workload"
+)
+
+const entries = 40_000
+
+func main() {
+	fmt.Println("sweeping sub-task size (ssd, pcp):")
+	fmt.Println("  subtask   inserts/s   compaction MiB/s")
+	for _, sub := range []int{64 << 10, 256 << 10, 512 << 10, 2 << 20} {
+		iops, cbw := run(pcplsm.Compaction{Mode: "pcp", SubtaskBytes: sub}, "ssd")
+		fmt.Printf("  %6dKB   %9.0f   %8.1f\n", sub>>10, iops, cbw/(1<<20))
+	}
+
+	fmt.Println("\nsweeping compute workers (ssd, C-PPCP):")
+	fmt.Println("  workers   inserts/s   compaction MiB/s")
+	for _, k := range []int{1, 2, 4} {
+		iops, cbw := run(pcplsm.Compaction{Mode: "pcp", SubtaskBytes: 256 << 10, ComputeWorkers: k}, "ssd")
+		fmt.Printf("  %7d   %9.0f   %8.1f\n", k, iops, cbw/(1<<20))
+	}
+
+	fmt.Println("\nsweeping I/O workers over 4 disks (hdd RAID0, S-PPCP):")
+	fmt.Println("  workers   inserts/s   compaction MiB/s")
+	for _, k := range []int{1, 2, 4} {
+		iops, cbw := runDisks(pcplsm.Compaction{Mode: "pcp", SubtaskBytes: 256 << 10, IOWorkers: k}, 4)
+		fmt.Printf("  %7d   %9.0f   %8.1f\n", k, iops, cbw/(1<<20))
+	}
+
+	fmt.Println("\nToo-small sub-tasks waste I/O efficiency; too-large ones starve the")
+	fmt.Println("pipeline (paper Figure 11). Extra workers help only until the other")
+	fmt.Println("resource becomes the bottleneck (paper Figure 12, Equations 4-7).")
+}
+
+func run(c pcplsm.Compaction, device string) (iops, cbw float64) {
+	return runWith(c, device, 1)
+}
+
+func runDisks(c pcplsm.Compaction, disks int) (iops, cbw float64) {
+	return runWith(c, "hdd", disks)
+}
+
+func runWith(c pcplsm.Compaction, device string, disks int) (iops, cbw float64) {
+	db, err := pcplsm.Open(pcplsm.Options{
+		Simulate:      &pcplsm.SimulatedStorage{Device: device, Disks: disks, RAID0: disks > 1, TimeScale: 1.0},
+		MemtableBytes: 512 << 10,
+		TableBytes:    512 << 10,
+		Compaction:    c,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	gen := workload.New(workload.Config{Entries: entries, ValueSize: 100, Seed: 7})
+	start := time.Now()
+	for {
+		k, v, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := db.Put(k, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		log.Fatal(err)
+	}
+	return float64(entries) / time.Since(start).Seconds(), db.Stats().CompactionBandwidth()
+}

@@ -1,0 +1,125 @@
+// YCSB-style mixed workload: a zipfian read/update/scan mix running against
+// a store that is simultaneously absorbing a heavy insert stream — the
+// "massive Internet services" scenario from the paper's introduction. It
+// reports foreground latency percentiles, showing how background compaction
+// pressure (and the choice of SCP vs PCP) leaks into user-visible latency.
+//
+// Run with:
+//
+//	go run ./examples/ycsb
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pcplsm"
+	"pcplsm/internal/metrics"
+	"pcplsm/internal/workload"
+)
+
+const (
+	preload   = 30_000
+	inserts   = 30_000
+	frontOps  = 20_000
+	keySpace  = 60_000
+	valueSize = 100
+)
+
+func main() {
+	for _, mode := range []string{"scp", "pcp"} {
+		run(mode)
+	}
+}
+
+func run(mode string) {
+	db, err := pcplsm.Open(pcplsm.Options{
+		Simulate:      &pcplsm.SimulatedStorage{Device: "ssd", TimeScale: 1.0},
+		MemtableBytes: 512 << 10,
+		TableBytes:    512 << 10,
+		Compaction:    pcplsm.Compaction{Mode: mode, SubtaskBytes: 256 << 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Preload a base data set.
+	gen := workload.New(workload.Config{Entries: preload, ValueSize: valueSize, KeySpace: keySpace, Seed: 1})
+	for {
+		k, v, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := db.Put(k, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Background insert pressure (drives flushes and compactions) while a
+	// foreground client issues a zipfian 70/20/10 read/update/scan mix.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g := workload.New(workload.Config{Entries: inserts, ValueSize: valueSize, KeySpace: keySpace, Seed: 2})
+		for {
+			k, v, ok := g.Next()
+			if !ok {
+				return
+			}
+			if err := db.Put(k, v); err != nil {
+				log.Printf("insert: %v", err)
+				return
+			}
+		}
+	}()
+
+	var reads, updates, scans metrics.Histogram
+	rng := rand.New(rand.NewSource(3))
+	zipf := rand.NewZipf(rng, 1.1, 1, keySpace-1)
+	val := make([]byte, valueSize)
+	for i := 0; i < frontOps; i++ {
+		key := []byte(fmt.Sprintf("user%012d", zipf.Uint64()))
+		start := time.Now()
+		switch r := rng.Intn(10); {
+		case r < 7: // read
+			if _, err := db.Get(key); err != nil && !pcplsm.IsNotFound(err) {
+				log.Fatal(err)
+			}
+			reads.Observe(time.Since(start))
+		case r < 9: // update
+			rng.Read(val[:valueSize/2])
+			if err := db.Put(key, val); err != nil {
+				log.Fatal(err)
+			}
+			updates.Observe(time.Since(start))
+		default: // short scan
+			it, err := db.NewIterator()
+			if err != nil {
+				log.Fatal(err)
+			}
+			n := 0
+			for ok := it.Seek(key); ok && n < 20; ok = it.Next() {
+				n++
+			}
+			it.Close()
+			scans.Observe(time.Since(start))
+		}
+	}
+	wg.Wait()
+	if err := db.WaitIdle(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := db.Stats()
+	fmt.Printf("%s:\n", mode)
+	fmt.Printf("  reads   %v\n", reads.String())
+	fmt.Printf("  updates %v\n", updates.String())
+	fmt.Printf("  scans   %v\n", scans.String())
+	fmt.Printf("  stalls  %d (%v total); compaction %.1f MiB/s\n\n",
+		st.StallCount, st.StallTime.Round(time.Millisecond), st.CompactionBandwidth()/(1<<20))
+}

@@ -1,0 +1,3 @@
+module pcplsm
+
+go 1.22

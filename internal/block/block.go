@@ -1,0 +1,320 @@
+// Package block implements the sorted key-value data block that SSTables are
+// made of — the unit of work that flows through the paper's seven-step
+// compaction procedure (Figure 1(b): "The data blocks contain the sorted
+// key-value pairs").
+//
+// Format (LevelDB-compatible in spirit):
+//
+//	entry*   — shared := uvarint   (bytes shared with the previous key)
+//	           unshared := uvarint (remaining key bytes)
+//	           vlen := uvarint
+//	           key[shared:] bytes, value bytes
+//	restarts — uint32 little-endian offset of each restart entry
+//	trailer  — uint32 little-endian restart count
+//
+// Every restartInterval-th entry is a "restart": it stores its key in full,
+// giving binary-searchable entry points while the entries in between use
+// shared-prefix compression.
+package block
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultRestartInterval is the number of entries between restart points.
+const DefaultRestartInterval = 16
+
+// Compare is the key ordering used by block iterators. It must match the
+// order keys were added in.
+type Compare func(a, b []byte) int
+
+// Builder assembles a data block. Keys must be Added in strictly ascending
+// order; Finish returns the serialized block.
+//
+// A Builder is not safe for concurrent use, but it may be Reset and reused
+// to avoid allocation — the compute stage of the compaction pipeline keeps
+// one per worker.
+type Builder struct {
+	restartInterval int
+	cmp             Compare
+	buf             []byte
+	restarts        []uint32
+	counter         int // entries since the last restart
+	count           int // total entries
+	lastKey         []byte
+}
+
+// NewBuilder returns a Builder with the given restart interval
+// (DefaultRestartInterval if restartInterval <= 0). cmp defines the key
+// order Add enforces; nil means bytes.Compare. Note that prefix compression
+// always works on raw bytes regardless of cmp.
+func NewBuilder(restartInterval int, cmp Compare) *Builder {
+	if restartInterval <= 0 {
+		restartInterval = DefaultRestartInterval
+	}
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	return &Builder{restartInterval: restartInterval, cmp: cmp}
+}
+
+// Reset clears the builder for reuse, retaining allocated capacity.
+func (b *Builder) Reset() {
+	b.buf = b.buf[:0]
+	b.restarts = b.restarts[:0]
+	b.counter = 0
+	b.count = 0
+	b.lastKey = b.lastKey[:0]
+}
+
+// Empty reports whether no entries have been added since the last Reset.
+func (b *Builder) Empty() bool { return b.count == 0 }
+
+// Count returns the number of entries added since the last Reset.
+func (b *Builder) Count() int { return b.count }
+
+// SizeEstimate returns the serialized size the block would have if Finished
+// now.
+func (b *Builder) SizeEstimate() int {
+	return len(b.buf) + 4*len(b.restarts) + 4
+}
+
+// Add appends a key/value entry. Keys must arrive in strictly ascending
+// order; Add panics otherwise, since an out-of-order key corrupts the block
+// and always indicates a bug in the caller (the merge stage).
+func (b *Builder) Add(key, value []byte) {
+	if b.count > 0 && b.cmp(key, b.lastKey) <= 0 {
+		panic(fmt.Sprintf("block: keys out of order: %q after %q", key, b.lastKey))
+	}
+	shared := 0
+	if b.counter < b.restartInterval {
+		n := len(b.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && key[shared] == b.lastKey[shared] {
+			shared++
+		}
+	} else {
+		b.restarts = append(b.restarts, uint32(len(b.buf)))
+		b.counter = 0
+	}
+	if b.count == 0 {
+		// The very first entry is implicitly a restart at offset 0.
+		b.restarts = append(b.restarts, 0)
+		b.counter = 0
+		shared = 0
+	}
+	b.buf = binary.AppendUvarint(b.buf, uint64(shared))
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(key)-shared))
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(value)))
+	b.buf = append(b.buf, key[shared:]...)
+	b.buf = append(b.buf, value...)
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.counter++
+	b.count++
+}
+
+// Finish serializes the block and returns its bytes. The returned slice
+// aliases the builder's buffer and is invalidated by Reset or further Adds.
+func (b *Builder) Finish() []byte {
+	if b.count == 0 {
+		// An empty block still carries one restart entry so readers have a
+		// well-formed trailer.
+		b.restarts = append(b.restarts, 0)
+	}
+	for _, r := range b.restarts {
+		b.buf = binary.LittleEndian.AppendUint32(b.buf, r)
+	}
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(len(b.restarts)))
+	return b.buf
+}
+
+// Errors returned by block readers.
+var (
+	ErrBlockTooShort = errors.New("block: too short for trailer")
+	ErrBlockCorrupt  = errors.New("block: corrupt entry encoding")
+)
+
+// Iter iterates over a serialized block. The zero Iter is invalid; use
+// NewIter.
+type Iter struct {
+	cmp      Compare
+	data     []byte // entry region only
+	restarts []uint32
+	off      int // offset of the current entry within data
+	nextOff  int
+	key      []byte
+	val      []byte
+	valid    bool
+	err      error
+}
+
+// NewIter parses the block trailer and returns an iterator positioned before
+// the first entry. cmp may be nil, defaulting to bytes.Compare.
+func NewIter(data []byte, cmp Compare) (*Iter, error) {
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	if len(data) < 4 {
+		return nil, ErrBlockTooShort
+	}
+	n := int(binary.LittleEndian.Uint32(data[len(data)-4:]))
+	trailer := 4 * (n + 1)
+	if n <= 0 || trailer > len(data) {
+		return nil, fmt.Errorf("%w: %d restarts in %d bytes", ErrBlockCorrupt, n, len(data))
+	}
+	restartArea := data[len(data)-trailer : len(data)-4]
+	restarts := make([]uint32, n)
+	entryLen := len(data) - trailer
+	for i := range restarts {
+		restarts[i] = binary.LittleEndian.Uint32(restartArea[4*i:])
+		if int(restarts[i]) > entryLen {
+			return nil, fmt.Errorf("%w: restart %d out of range", ErrBlockCorrupt, restarts[i])
+		}
+	}
+	return &Iter{cmp: cmp, data: data[:entryLen], restarts: restarts}, nil
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iter) Valid() bool { return it.valid }
+
+// Err returns the first corruption error encountered, if any.
+func (it *Iter) Err() error { return it.err }
+
+// Key returns the current entry's key. Valid only while Valid() is true; the
+// slice is owned by the iterator and overwritten on movement.
+func (it *Iter) Key() []byte { return it.key }
+
+// Value returns the current entry's value, aliasing the block's buffer.
+func (it *Iter) Value() []byte { return it.val }
+
+// First positions the iterator on the first entry.
+func (it *Iter) First() bool {
+	it.seekToRestart(0)
+	return it.Next()
+}
+
+// seekToRestart positions parsing at restart index i with no current entry.
+func (it *Iter) seekToRestart(i int) {
+	it.nextOff = int(it.restarts[i])
+	it.key = it.key[:0]
+	it.valid = false
+	it.err = nil
+}
+
+// Next advances to the next entry, returning false at the end of the block
+// or on corruption (check Err to distinguish).
+func (it *Iter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	if it.nextOff >= len(it.data) {
+		it.valid = false
+		return false
+	}
+	it.off = it.nextOff
+	rec := it.data[it.off:]
+	shared, n1 := binary.Uvarint(rec)
+	if n1 <= 0 {
+		return it.corrupt()
+	}
+	rec = rec[n1:]
+	unshared, n2 := binary.Uvarint(rec)
+	if n2 <= 0 {
+		return it.corrupt()
+	}
+	rec = rec[n2:]
+	vlen, n3 := binary.Uvarint(rec)
+	if n3 <= 0 {
+		return it.corrupt()
+	}
+	rec = rec[n3:]
+	if uint64(len(rec)) < unshared+vlen || shared > uint64(len(it.key)) {
+		return it.corrupt()
+	}
+	it.key = append(it.key[:int(shared)], rec[:unshared]...)
+	it.val = rec[unshared : unshared+vlen]
+	it.nextOff = it.off + n1 + n2 + n3 + int(unshared) + int(vlen)
+	it.valid = true
+	return true
+}
+
+func (it *Iter) corrupt() bool {
+	it.err = ErrBlockCorrupt
+	it.valid = false
+	return false
+}
+
+// Seek positions the iterator at the first entry with key >= target,
+// returning false if no such entry exists.
+func (it *Iter) Seek(target []byte) bool {
+	// Binary search for the last restart whose key is <= target, then scan.
+	lo, hi := 0, len(it.restarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		k, ok := it.restartKey(mid)
+		if !ok {
+			return false
+		}
+		if it.cmp(k, target) <= 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	it.seekToRestart(lo)
+	for it.Next() {
+		if it.cmp(it.key, target) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// restartKey decodes the full key stored at restart index i.
+func (it *Iter) restartKey(i int) ([]byte, bool) {
+	rec := it.data[it.restarts[i]:]
+	shared, n1 := binary.Uvarint(rec)
+	if n1 <= 0 || shared != 0 {
+		it.err = ErrBlockCorrupt
+		return nil, false
+	}
+	rec = rec[n1:]
+	unshared, n2 := binary.Uvarint(rec)
+	if n2 <= 0 {
+		it.err = ErrBlockCorrupt
+		return nil, false
+	}
+	rec = rec[n2:]
+	_, n3 := binary.Uvarint(rec)
+	if n3 <= 0 {
+		it.err = ErrBlockCorrupt
+		return nil, false
+	}
+	rec = rec[n3:]
+	if uint64(len(rec)) < unshared {
+		it.err = ErrBlockCorrupt
+		return nil, false
+	}
+	return rec[:unshared], true
+}
+
+// Count returns the total number of entries in the block by scanning it.
+func Count(data []byte) (int, error) {
+	it, err := NewIter(data, nil)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+	}
+	if it.Err() != nil {
+		return n, it.Err()
+	}
+	return n, nil
+}

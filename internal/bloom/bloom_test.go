@@ -1,0 +1,132 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(rawKeys [][]byte) bool {
+		filter := Build(rawKeys, 10)
+		for _, k := range rawKeys {
+			if !MayContain(filter, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("member%08d", i))
+	}
+	filter := Build(keys, 10)
+
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if MayContain(filter, []byte(fmt.Sprintf("absent%08d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Theory: ~0.8% at 10 bits/key. Allow generous slack.
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+	if rate == 0 {
+		t.Log("zero false positives (unusual but legal)")
+	}
+}
+
+func TestBitsPerKeyTradeoff(t *testing.T) {
+	const n = 5000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%07d", i))
+	}
+	rate := func(bpk int) float64 {
+		filter := Build(keys, bpk)
+		fp := 0
+		for i := 0; i < 10000; i++ {
+			if MayContain(filter, []byte(fmt.Sprintf("no%07d", i))) {
+				fp++
+			}
+		}
+		return float64(fp) / 10000
+	}
+	loose := rate(4)
+	tight := rate(16)
+	if tight >= loose {
+		t.Fatalf("16 bits/key FPR %.4f should beat 4 bits/key %.4f", tight, loose)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	filter := Build(nil, 10)
+	if MayContain(filter, []byte("anything")) {
+		// An empty filter has all bits clear, so nothing matches; both
+		// outcomes are legal per the contract, but all-clear must not match.
+		t.Fatal("empty filter matched a key")
+	}
+}
+
+func TestMalformedFiltersFailOpen(t *testing.T) {
+	for _, f := range [][]byte{nil, {}, {1}, {0xff, 31}, {0xff, 0}} {
+		if !MayContain(f, []byte("k")) {
+			t.Fatalf("malformed filter %v should fail open", f)
+		}
+	}
+}
+
+func TestHashDeterministicAndSpread(t *testing.T) {
+	if Hash([]byte("abc")) != Hash([]byte("abc")) {
+		t.Fatal("hash not deterministic")
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[Hash([]byte(fmt.Sprintf("k%d", i)))] = true
+	}
+	if len(seen) < 995 {
+		t.Fatalf("too many hash collisions: %d distinct of 1000", len(seen))
+	}
+	// All tail lengths exercise the switch.
+	for n := 0; n <= 9; n++ {
+		b := make([]byte, n)
+		rand.New(rand.NewSource(int64(n))).Read(b)
+		_ = Hash(b)
+	}
+}
+
+func TestBuildFromHashesMatchesBuild(t *testing.T) {
+	keys := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	hashes := make([]uint32, len(keys))
+	for i, k := range keys {
+		hashes[i] = Hash(k)
+	}
+	f1 := Build(keys, 10)
+	f2 := BuildFromHashes(hashes, 10)
+	if string(f1) != string(f2) {
+		t.Fatal("Build and BuildFromHashes disagree")
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	keys := make([][]byte, 10000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%08d", i))
+	}
+	filter := Build(keys, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MayContain(filter, keys[i%len(keys)])
+	}
+}

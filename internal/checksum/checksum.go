@@ -1,0 +1,91 @@
+// Package checksum provides the CRC32-C (Castagnoli) checksums used to
+// protect every data block and log record in the store.
+//
+// The paper's compaction pipeline spends Step 2 (CHECKSUM) and Step 6
+// (RE-CHECKSUM) here. Following LevelDB, stored checksums are "masked" so
+// that computing the CRC of data that embeds CRCs does not produce
+// pathological values.
+package checksum
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// castagnoli is the CRC32-C table shared by all checksum computations.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const maskDelta = 0xa282ead8
+
+// Sum returns the unmasked CRC32-C of data.
+func Sum(data []byte) uint32 {
+	return crc32.Checksum(data, castagnoli)
+}
+
+// SumWithSeed extends an existing CRC with more data. It allows callers to
+// checksum a logical record that is stored in multiple physical fragments
+// without concatenating them first.
+func SumWithSeed(seed uint32, data []byte) uint32 {
+	return crc32.Update(seed, castagnoli, data)
+}
+
+// Mask returns a masked representation of crc, suitable for storing on disk.
+//
+// Motivation (from LevelDB): it is problematic to compute the CRC of a
+// string that contains embedded CRCs. Masking rotates the CRC and adds a
+// constant so stored values never equal the raw CRC of their own payload.
+func Mask(crc uint32) uint32 {
+	return ((crc >> 15) | (crc << 17)) + maskDelta
+}
+
+// Unmask is the inverse of Mask.
+func Unmask(masked uint32) uint32 {
+	rot := masked - maskDelta
+	return (rot >> 17) | (rot << 15)
+}
+
+// Append appends the masked CRC32-C of data to dst as 4 little-endian bytes
+// and returns the extended slice. It is the standard on-disk trailer used by
+// blocks and log records.
+func Append(dst, data []byte) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], Mask(Sum(data)))
+	return append(dst, buf[:]...)
+}
+
+// ErrMismatch reports a checksum verification failure.
+type ErrMismatch struct {
+	Want uint32 // unmasked checksum recorded on disk
+	Got  uint32 // unmasked checksum of the bytes read
+}
+
+func (e *ErrMismatch) Error() string {
+	return fmt.Sprintf("checksum mismatch: stored %#08x, computed %#08x", e.Want, e.Got)
+}
+
+// Verify checks that the masked trailer stored matches the contents of data.
+// It returns nil on success and an *ErrMismatch otherwise.
+func Verify(data []byte, stored uint32) error {
+	want := Unmask(stored)
+	got := Sum(data)
+	if want != got {
+		return &ErrMismatch{Want: want, Got: got}
+	}
+	return nil
+}
+
+// VerifyTrailer interprets the final 4 bytes of buf as a masked little-endian
+// CRC of the preceding bytes, verifies it, and returns the payload without
+// the trailer.
+func VerifyTrailer(buf []byte) ([]byte, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("checksum: buffer too short (%d bytes) to hold a trailer", len(buf))
+	}
+	payload := buf[:len(buf)-4]
+	stored := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if err := Verify(payload, stored); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,61 @@
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// flateCodec wraps compress/flate behind the Codec interface. DEFLATE costs
+// several times more CPU per byte than Snappy, so selecting it pushes the
+// compaction pipeline deeper into the CPU-bound regime — useful for the
+// codec ablation and for exercising C-PPCP.
+type flateCodec struct {
+	writers sync.Pool // *flate.Writer
+}
+
+func newFlateCodec() *flateCodec {
+	return &flateCodec{
+		writers: sync.Pool{
+			New: func() any {
+				w, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
+				if err != nil {
+					// DefaultCompression is always a valid level.
+					panic(err)
+				}
+				return w
+			},
+		},
+	}
+}
+
+func (c *flateCodec) Kind() Kind { return Flate }
+
+func (c *flateCodec) Compress(dst, src []byte) []byte {
+	var buf bytes.Buffer
+	buf.Grow(len(src)/2 + 64)
+	w := c.writers.Get().(*flate.Writer)
+	w.Reset(&buf)
+	// Writing to a bytes.Buffer cannot fail; flate.Writer reports only the
+	// underlying writer's errors from Write/Close.
+	if _, err := w.Write(src); err != nil {
+		panic(fmt.Sprintf("compress: flate write to buffer failed: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("compress: flate close failed: %v", err))
+	}
+	c.writers.Put(w)
+	return append(dst, buf.Bytes()...)
+}
+
+func (c *flateCodec) Decompress(dst, src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	buf := bytes.NewBuffer(dst)
+	if _, err := io.Copy(buf, r); err != nil {
+		return dst, fmt.Errorf("compress: flate decode: %w", err)
+	}
+	return buf.Bytes(), nil
+}

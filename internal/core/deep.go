@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// runDeepPipeline executes the five-stage pipeline the paper's §III-B
+// considers and rejects: Step 1 and Step 7 as I/O stages plus the compute
+// steps split into three stages (S2+S3, S4, S5+S6), each on its own
+// worker. The paper's objections — uneven stage times cause load
+// imbalance, data must migrate between workers, and the scheme does not
+// scale — show up directly in the ablation benchmarks: the merge and
+// compress stages dominate while verify/decompress idles, so this variant
+// trails C-PPCP with the same number of workers.
+func (e *engine) runDeepPipeline(subtasks []Subtask) {
+	qd := e.cfg.QueueDepth
+	subCh := make(chan *Subtask, qd)
+	rawCh := make(chan *rawJob, qd)
+	plainCh := make(chan *plainJob, qd)
+	builtCh := make(chan *builtJob, qd)
+	writeCh := make(chan *writeJob, qd)
+
+	go func() {
+		defer close(subCh)
+		for i := range subtasks {
+			select {
+			case subCh <- &subtasks[i]:
+			case <-e.cancel:
+				return
+			}
+		}
+	}()
+
+	var readWg sync.WaitGroup
+	for w := 0; w < e.cfg.IOParallel; w++ {
+		readWg.Add(1)
+		go func() {
+			defer readWg.Done()
+			for st := range subCh {
+				if e.canceled() {
+					continue
+				}
+				begin := time.Now()
+				job, err := e.readSubtask(st)
+				e.busyRead.Add(int64(time.Since(begin)))
+				if err != nil {
+					e.fail(err)
+					continue
+				}
+				select {
+				case rawCh <- job:
+				case <-e.cancel:
+				}
+			}
+		}()
+	}
+	go func() {
+		readWg.Wait()
+		close(rawCh)
+	}()
+
+	// Stage 2: verify + decompress.
+	var vdWg sync.WaitGroup
+	vdWg.Add(1)
+	go func() {
+		defer vdWg.Done()
+		var dil dilation
+		for job := range rawCh {
+			if e.canceled() {
+				continue
+			}
+			begin := time.Now()
+			pj, err := e.verifyDecompress(job, &dil)
+			e.busyCompute.Add(int64(time.Since(begin)))
+			if err != nil {
+				e.fail(err)
+				continue
+			}
+			select {
+			case plainCh <- pj:
+			case <-e.cancel:
+			}
+		}
+	}()
+	go func() {
+		vdWg.Wait()
+		close(plainCh)
+	}()
+
+	// Stage 3: merge.
+	var mergeWg sync.WaitGroup
+	mergeWg.Add(1)
+	go func() {
+		defer mergeWg.Done()
+		var dil dilation
+		for pj := range plainCh {
+			if e.canceled() {
+				continue
+			}
+			begin := time.Now()
+			bj, err := e.mergeBuild(pj, &dil)
+			e.busyCompute.Add(int64(time.Since(begin)))
+			if err != nil {
+				e.fail(err)
+				continue
+			}
+			select {
+			case builtCh <- bj:
+			case <-e.cancel:
+			}
+		}
+	}()
+	go func() {
+		mergeWg.Wait()
+		close(builtCh)
+	}()
+
+	// Stage 4: compress + re-checksum.
+	var sealWg sync.WaitGroup
+	sealWg.Add(1)
+	go func() {
+		defer sealWg.Done()
+		var dil dilation
+		for bj := range builtCh {
+			if e.canceled() {
+				continue
+			}
+			begin := time.Now()
+			wj, err := e.sealSubtask(bj, &dil)
+			e.busyCompute.Add(int64(time.Since(begin)))
+			if err != nil {
+				e.fail(err)
+				continue
+			}
+			select {
+			case writeCh <- wj:
+			case <-e.cancel:
+			}
+		}
+	}()
+	go func() {
+		sealWg.Wait()
+		close(writeCh)
+	}()
+
+	var writeWg sync.WaitGroup
+	for w := 0; w < e.cfg.IOParallel; w++ {
+		writeWg.Add(1)
+		go func() {
+			defer writeWg.Done()
+			for wj := range writeCh {
+				if e.canceled() {
+					continue
+				}
+				begin := time.Now()
+				err := e.writeSubtask(wj)
+				e.busyWrite.Add(int64(time.Since(begin)))
+				if err != nil {
+					e.fail(err)
+				}
+			}
+		}()
+	}
+	writeWg.Wait()
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"pcplsm/internal/storage"
+)
+
+// TestDeepPipelineMatchesReference: the 5-stage variant must produce
+// exactly the same results as SCP.
+func TestDeepPipelineMatchesReference(t *testing.T) {
+	upper := genEntries(2500, 100000, 40000, 21)
+	lower := genEntries(2500, 1, 40000, 22)
+	want := referenceMerge([][]kv{upper, lower}, false)
+
+	fs := storage.NewMemFS()
+	inputs := []*TableSource{
+		buildInputTable(t, fs, "u.sst", append([]kv(nil), upper...), 1024),
+		buildInputTable(t, fs, "l.sst", append([]kv(nil), lower...), 1024),
+	}
+	res, err := Run(Config{Mode: ModeDeepPCP, SubtaskSize: 16 << 10, TableSize: 64 << 10},
+		inputs, memSink(fs, "o-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectOutputs(t, fs, res.Outputs)
+	if len(got) != len(want) {
+		t.Fatalf("%d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDeepPipelineByteIdenticalToScp: pipelining depth must not change the
+// produced tables.
+func TestDeepPipelineByteIdenticalToScp(t *testing.T) {
+	entries := genEntries(3000, 1, 100000, 23)
+	dump := func(mode Mode) [][]byte {
+		fs := storage.NewMemFS()
+		inputs := []*TableSource{buildInputTable(t, fs, "t.sst", append([]kv(nil), entries...), 1024)}
+		res, err := Run(Config{Mode: mode, SubtaskSize: 16 << 10, TableSize: 32 << 10},
+			inputs, memSink(fs, "o-"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dumps [][]byte
+		for _, o := range res.Outputs {
+			data, err := storage.ReadAll(fs, o.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dumps = append(dumps, data)
+		}
+		sort.Slice(dumps, func(i, j int) bool { return bytes.Compare(dumps[i], dumps[j]) < 0 })
+		return dumps
+	}
+	ref := dump(ModeSCP)
+	deep := dump(ModeDeepPCP)
+	if len(ref) != len(deep) {
+		t.Fatalf("table count differs: %d vs %d", len(ref), len(deep))
+	}
+	for i := range ref {
+		if !bytes.Equal(ref[i], deep[i]) {
+			t.Fatalf("table %d differs between scp and pcp-deep", i)
+		}
+	}
+}
+
+// TestDeepPipelineErrorPaths: sink failures propagate through all five
+// stages without deadlock.
+func TestDeepPipelineErrorPaths(t *testing.T) {
+	fs := storage.NewMemFS()
+	entries := genEntries(1000, 1, 100000, 24)
+	inputs := []*TableSource{buildInputTable(t, fs, "t.sst", append([]kv(nil), entries...), 1024)}
+	failing := func() (string, storage.File, error) {
+		return "", nil, errSinkFull
+	}
+	if _, err := Run(Config{Mode: ModeDeepPCP, SubtaskSize: 8 << 10}, inputs, failing); err == nil {
+		t.Fatal("sink error not propagated through deep pipeline")
+	}
+}
+
+var errSinkFull = storage.ErrExist // any sentinel error works for the test
+
+func TestDeepModeString(t *testing.T) {
+	if ModeDeepPCP.String() != "pcp-deep" {
+		t.Fatalf("String = %q", ModeDeepPCP.String())
+	}
+}

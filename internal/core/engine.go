@@ -1,0 +1,658 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcplsm/internal/block"
+	"pcplsm/internal/bloom"
+	"pcplsm/internal/compress"
+	"pcplsm/internal/ikey"
+	"pcplsm/internal/sstable"
+	"pcplsm/internal/storage"
+)
+
+// Mode selects the compaction procedure.
+type Mode int
+
+const (
+	// ModeSCP is the Sequential Compaction Procedure: sub-tasks run one
+	// after another, each stepping S1…S7 in order.
+	ModeSCP Mode = iota
+	// ModePCP is the Pipelined Compaction Procedure: three stages (read /
+	// compute / write) run concurrently over the sub-task stream. With
+	// ComputeParallel > 1 it is C-PPCP; with IOParallel > 1 it is S-PPCP.
+	ModePCP
+	// ModeDeepPCP is the five-stage variant the paper rejects in §III-B
+	// (read / verify+decompress / merge / compress+checksum / write). It
+	// exists for the ablation benchmarks: its finer stages suffer the load
+	// imbalance the paper predicts — the merge and compress stages dominate
+	// and the others idle — so it trails C-PPCP at equal parallelism.
+	ModeDeepPCP
+)
+
+// String names the mode, including the parallel variants.
+func (m Mode) String() string {
+	switch m {
+	case ModeSCP:
+		return "scp"
+	case ModePCP:
+		return "pcp"
+	case ModeDeepPCP:
+		return "pcp-deep"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// OutputSink allocates output table files. It must be safe for concurrent
+// use: S-PPCP's write workers call it in parallel.
+type OutputSink func() (name string, f storage.File, err error)
+
+// Config parameterizes one compaction run.
+type Config struct {
+	// Mode selects SCP or PCP.
+	Mode Mode
+	// SubtaskSize is the target physical input bytes per sub-task. Zero
+	// selects the 512 KiB default (the best point in the paper's Figure
+	// 11(a)); a negative value disables partitioning entirely, producing a
+	// single sub-task for the whole compaction.
+	SubtaskSize int64
+	// QueueDepth is the buffer depth of the queues between pipeline stages.
+	QueueDepth int
+	// ComputeParallel is the number of compute-stage workers (C-PPCP when
+	// > 1). Ignored under SCP.
+	ComputeParallel int
+	// IOParallel is the number of read-stage and write-stage workers
+	// (S-PPCP when > 1, paired with a multi-device file system). Ignored
+	// under SCP.
+	IOParallel int
+	// BlockSize is the uncompressed output data block size (default 4 KiB).
+	BlockSize int
+	// RestartInterval for output blocks.
+	RestartInterval int
+	// Codec compresses output blocks (default Snappy).
+	Codec compress.Codec
+	// TableSize caps output table file size (default 2 MiB, paper setting).
+	TableSize int64
+	// DropTombstones removes deletion markers that survive shadowing; legal
+	// only when no older component can hold versions of the dropped keys.
+	DropTombstones bool
+	// RetainSeq is the smallest live snapshot's sequence number: versions
+	// that a snapshot at RetainSeq (or newer) could still read are kept.
+	// 0 means no snapshots — only the newest version of each key survives.
+	RetainSeq uint64
+	// BloomBitsPerKey, when positive, attaches a Bloom filter over user
+	// keys to every output table (10 bits/key ≈ 0.8% false positives).
+	// Point reads use the filters to skip tables — the bLSM optimization
+	// from the paper's related work.
+	BloomBitsPerKey int
+	// CPUDilation, when >= 2, stretches every compute step (S2–S6) by
+	// sleeping (D−1)× its measured duration. Together with scaling the
+	// simulated devices by the same factor, this emulates running on a
+	// machine with more cores than the host: the sleep portion of
+	// "computation" overlaps across compute workers even when the host
+	// cannot run them simultaneously, so C-PPCP scaling is observable on
+	// small hosts while every CPU-vs-I/O ratio is preserved. 0/1 = off.
+	CPUDilation int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SubtaskSize == 0 {
+		c.SubtaskSize = 512 << 10
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2
+	}
+	if c.ComputeParallel <= 0 {
+		c.ComputeParallel = 1
+	}
+	if c.IOParallel <= 0 {
+		c.IOParallel = 1
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4 << 10
+	}
+	if c.RestartInterval <= 0 {
+		c.RestartInterval = block.DefaultRestartInterval
+	}
+	if c.Codec == nil {
+		c.Codec = compress.MustByKind(compress.Snappy)
+	}
+	if c.TableSize <= 0 {
+		c.TableSize = 2 << 20
+	}
+	return c
+}
+
+// Output describes one produced table.
+type Output struct {
+	Name string
+	Meta sstable.TableMeta
+}
+
+// Result is a finished compaction: the output tables (sorted by smallest
+// key) and the measured statistics.
+type Result struct {
+	Outputs []Output
+	Stats   Stats
+}
+
+// ErrNoInput is returned when Run is given no input tables.
+var ErrNoInput = errors.New("core: compaction has no input tables")
+
+// Run executes one compaction over the input tables, writing outputs
+// through sink. Input tables may overlap arbitrarily; version shadowing is
+// resolved through internal-key sequence numbers.
+func Run(cfg Config, inputs []*TableSource, sink OutputSink) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(inputs) == 0 {
+		return nil, ErrNoInput
+	}
+	e := &engine{cfg: cfg, inputs: inputs, sink: sink, cancel: make(chan struct{})}
+	subtasks := Partition(inputs, cfg.SubtaskSize)
+
+	start := time.Now()
+	switch cfg.Mode {
+	case ModeSCP:
+		e.runSequential(subtasks)
+	case ModePCP:
+		e.runPipelined(subtasks)
+	case ModeDeepPCP:
+		e.runDeepPipeline(subtasks)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	sort.Slice(e.outputs, func(i, j int) bool {
+		return ikey.Compare(e.outputs[i].Meta.Smallest, e.outputs[j].Meta.Smallest) < 0
+	})
+	stats := Stats{
+		Steps:        e.clock.snapshot(),
+		Wall:         time.Since(start),
+		Subtasks:     len(subtasks),
+		InputTables:  len(inputs),
+		OutputTables: len(e.outputs),
+		InputBytes:   e.inputBytes.Load(),
+		OutputBytes:  e.outputBytes.Load(),
+		EntriesIn:    e.entriesIn.Load(),
+		EntriesOut:   e.entriesOut.Load(),
+	}
+	stats.EntriesDropped = stats.EntriesIn - stats.EntriesOut
+	stats.StageBusy.Read = time.Duration(e.busyRead.Load())
+	stats.StageBusy.Compute = time.Duration(e.busyCompute.Load())
+	stats.StageBusy.Write = time.Duration(e.busyWrite.Load())
+	return &Result{Outputs: e.outputs, Stats: stats}, nil
+}
+
+// engine carries the shared state of one compaction run.
+type engine struct {
+	cfg    Config
+	inputs []*TableSource
+	sink   OutputSink
+	clock  stepClock
+
+	inputBytes, outputBytes          atomic.Int64
+	entriesIn, entriesOut            atomic.Int64
+	busyRead, busyCompute, busyWrite atomic.Int64
+
+	outMu   sync.Mutex
+	outputs []Output
+
+	errOnce sync.Once
+	err     error
+	cancel  chan struct{}
+}
+
+func (e *engine) fail(err error) {
+	e.errOnce.Do(func() {
+		e.err = err
+		close(e.cancel)
+	})
+}
+
+func (e *engine) canceled() bool {
+	select {
+	case <-e.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// dilation tracks one worker's CPU-dilation debt. The target extra time is
+// charged to the step clock exactly; the sleep itself is settled once per
+// sub-task with an oversleep credit carried forward, so OS timer overshoot
+// (~1ms per sleep) does not distort measurements.
+type dilation struct {
+	pending time.Duration // dilation owed but not yet slept
+	credit  time.Duration // banked oversleep
+}
+
+// settle sleeps off the pending dilation.
+func (dil *dilation) settle() {
+	target := dil.pending - dil.credit
+	dil.pending = 0
+	if target <= 0 {
+		dil.credit = -target
+		return
+	}
+	t0 := time.Now()
+	time.Sleep(target)
+	dil.credit = time.Since(t0) - target
+}
+
+// computeTime runs one compute step, records its dilated duration, and
+// queues the dilation sleep on dil.
+func (e *engine) computeTime(dil *dilation, s Step, f func()) {
+	start := time.Now()
+	f()
+	elapsed := time.Since(start)
+	if d := e.cfg.CPUDilation; d > 1 {
+		extra := elapsed * time.Duration(d-1)
+		dil.pending += extra
+		elapsed += extra
+	}
+	e.clock.add(s, elapsed)
+}
+
+// rawJob is a sub-task after the read stage: physical blocks per span.
+type rawJob struct {
+	st  *Subtask
+	raw [][][]byte // raw[spanIdx][blockIdx] = physical block bytes
+}
+
+// sealedBlock is a finished output block awaiting S7.
+type sealedBlock struct {
+	first, last []byte
+	physical    []byte
+	entries     int64
+	hashes      []uint32
+}
+
+// sealedTable groups the sealed blocks of one output table.
+type sealedTable struct {
+	blocks []sealedBlock
+	bytes  int64
+}
+
+// writeJob is a sub-task after the compute stage.
+type writeJob struct {
+	tables []sealedTable
+}
+
+// runSequential is SCP: every sub-task runs S1…S7 inline, in key order.
+func (e *engine) runSequential(subtasks []Subtask) {
+	var dil dilation
+	for i := range subtasks {
+		job, err := e.readSubtask(&subtasks[i])
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		wj, err := e.computeSubtask(job, &dil)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		if err := e.writeSubtask(wj); err != nil {
+			e.fail(err)
+			return
+		}
+	}
+	// Under SCP the "stages" are just the step groups.
+	e.busyRead.Store(int64(e.clock.snapshot().ReadTime()))
+	e.busyCompute.Store(int64(e.clock.snapshot().ComputeTime()))
+	e.busyWrite.Store(int64(e.clock.snapshot().WriteTime()))
+}
+
+// runPipelined is PCP/PPCP: three stages over bounded queues.
+func (e *engine) runPipelined(subtasks []Subtask) {
+	qd := e.cfg.QueueDepth
+	subCh := make(chan *Subtask, qd)
+	compCh := make(chan *rawJob, qd)
+	writeCh := make(chan *writeJob, qd)
+
+	go func() {
+		defer close(subCh)
+		for i := range subtasks {
+			select {
+			case subCh <- &subtasks[i]:
+			case <-e.cancel:
+				return
+			}
+		}
+	}()
+
+	var readWg sync.WaitGroup
+	for w := 0; w < e.cfg.IOParallel; w++ {
+		readWg.Add(1)
+		go func() {
+			defer readWg.Done()
+			for st := range subCh {
+				if e.canceled() {
+					continue
+				}
+				begin := time.Now()
+				job, err := e.readSubtask(st)
+				e.busyRead.Add(int64(time.Since(begin)))
+				if err != nil {
+					e.fail(err)
+					continue
+				}
+				select {
+				case compCh <- job:
+				case <-e.cancel:
+				}
+			}
+		}()
+	}
+	go func() {
+		readWg.Wait()
+		close(compCh)
+	}()
+
+	var compWg sync.WaitGroup
+	for w := 0; w < e.cfg.ComputeParallel; w++ {
+		compWg.Add(1)
+		go func() {
+			defer compWg.Done()
+			var dil dilation
+			for job := range compCh {
+				if e.canceled() {
+					continue
+				}
+				begin := time.Now()
+				wj, err := e.computeSubtask(job, &dil)
+				e.busyCompute.Add(int64(time.Since(begin)))
+				if err != nil {
+					e.fail(err)
+					continue
+				}
+				select {
+				case writeCh <- wj:
+				case <-e.cancel:
+				}
+			}
+		}()
+	}
+	go func() {
+		compWg.Wait()
+		close(writeCh)
+	}()
+
+	var writeWg sync.WaitGroup
+	for w := 0; w < e.cfg.IOParallel; w++ {
+		writeWg.Add(1)
+		go func() {
+			defer writeWg.Done()
+			for wj := range writeCh {
+				if e.canceled() {
+					continue
+				}
+				begin := time.Now()
+				err := e.writeSubtask(wj)
+				e.busyWrite.Add(int64(time.Since(begin)))
+				if err != nil {
+					e.fail(err)
+				}
+			}
+		}()
+	}
+	writeWg.Wait()
+}
+
+// readSubtask performs S1: one contiguous physical read per span, sliced
+// into per-block buffers.
+func (e *engine) readSubtask(st *Subtask) (*rawJob, error) {
+	job := &rawJob{st: st, raw: make([][][]byte, len(st.Spans))}
+	for i, sp := range st.Spans {
+		src := e.inputs[sp.Source]
+		first := src.Entries[sp.From].Handle
+		last := src.Entries[sp.To-1].Handle
+		span := sstable.BlockHandle{
+			Offset: first.Offset,
+			Length: last.Offset + last.Length - first.Offset,
+		}
+		var buf []byte
+		var err error
+		e.clock.time(S1Read, func() {
+			buf, err = src.R.ReadRaw(nil, span)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: S1 read span %d of subtask %d: %w", i, st.Index, err)
+		}
+		e.inputBytes.Add(span.Length)
+		blocks := make([][]byte, sp.To-sp.From)
+		for j := sp.From; j < sp.To; j++ {
+			h := src.Entries[j].Handle
+			off := h.Offset - first.Offset
+			blocks[j-sp.From] = buf[off : off+h.Length]
+		}
+		job.raw[i] = blocks
+	}
+	return job, nil
+}
+
+// plainJob is a sub-task after S2+S3: decompressed input blocks per span.
+type plainJob struct {
+	st     *Subtask
+	plains [][][]byte
+}
+
+// plainBlock is a merged output block before compression.
+type plainBlock struct {
+	first, last []byte
+	data        []byte
+	entries     int64
+	hashes      []uint32 // Bloom filter hashes of the block's user keys
+}
+
+// builtJob is a sub-task after S4: merged plain output blocks.
+type builtJob struct {
+	st        *Subtask
+	outBlocks []plainBlock
+}
+
+// verifyDecompress performs S2 (checksum verification) and S3
+// (decompression) for one sub-task.
+func (e *engine) verifyDecompress(job *rawJob, dil *dilation) (*plainJob, error) {
+	// S2: verify every input block's checksum.
+	payloads := make([][][]byte, len(job.raw))
+	var verr error
+	e.computeTime(dil, S2Checksum, func() {
+		for i, blocks := range job.raw {
+			payloads[i] = make([][]byte, len(blocks))
+			for j, physical := range blocks {
+				p, err := sstable.VerifyBlockChecksum(physical)
+				if err != nil {
+					verr = fmt.Errorf("core: S2 subtask %d: %w", job.st.Index, err)
+					return
+				}
+				payloads[i][j] = p
+			}
+		}
+	})
+	if verr != nil {
+		return nil, verr
+	}
+
+	// S3: decompress every input block.
+	plains := make([][][]byte, len(payloads))
+	var derr error
+	e.computeTime(dil, S3Decompress, func() {
+		for i, ps := range payloads {
+			plains[i] = make([][]byte, len(ps))
+			for j, p := range ps {
+				d, err := sstable.DecompressBlock(nil, p)
+				if err != nil {
+					derr = fmt.Errorf("core: S3 subtask %d: %w", job.st.Index, err)
+					return
+				}
+				plains[i][j] = d
+			}
+		}
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	dil.settle()
+	return &plainJob{st: job.st, plains: plains}, nil
+}
+
+// mergeBuild performs S4: the k-way merge and output block formation.
+func (e *engine) mergeBuild(pj *plainJob, dil *dilation) (*builtJob, error) {
+	var outBlocks []plainBlock
+	builder := block.NewBuilder(e.cfg.RestartInterval, ikey.Compare)
+	var curFirst, curLast []byte
+	var curEntries int64
+	var curHashes []uint32
+	flush := func() {
+		if builder.Empty() {
+			return
+		}
+		data := append([]byte(nil), builder.Finish()...)
+		outBlocks = append(outBlocks, plainBlock{
+			first:   append([]byte(nil), curFirst...),
+			last:    append([]byte(nil), curLast...),
+			data:    data,
+			entries: curEntries,
+			hashes:  curHashes,
+		})
+		builder.Reset()
+		curEntries = 0
+		curHashes = nil
+	}
+	var seen, emitted int64
+	var merr error
+	e.computeTime(dil, S4Sort, func() {
+		sources := make([]*concatIter, len(pj.plains))
+		for i := range pj.plains {
+			sources[i] = newConcatIter(pj.plains[i])
+		}
+		seen, emitted, merr = mergeEmit(pj.st, sources, e.cfg.DropTombstones, e.cfg.RetainSeq, func(k, v []byte) {
+			if builder.Empty() {
+				curFirst = append(curFirst[:0], k...)
+			}
+			builder.Add(k, v)
+			if e.cfg.BloomBitsPerKey > 0 {
+				curHashes = append(curHashes, bloom.Hash(ikey.UserKey(k)))
+			}
+			curLast = append(curLast[:0], k...)
+			curEntries++
+			if builder.SizeEstimate() >= e.cfg.BlockSize {
+				flush()
+			}
+		})
+		flush()
+	})
+	if merr != nil {
+		return nil, fmt.Errorf("core: S4 subtask %d: %w", pj.st.Index, merr)
+	}
+	e.entriesIn.Add(seen)
+	e.entriesOut.Add(emitted)
+	dil.settle()
+	return &builtJob{st: pj.st, outBlocks: outBlocks}, nil
+}
+
+// sealSubtask performs S5 (compress) and S6 (re-checksum), and splits the
+// sealed blocks into output tables no larger than TableSize.
+func (e *engine) sealSubtask(bj *builtJob, dil *dilation) (*writeJob, error) {
+	// S5: compress the new blocks.
+	compressed := make([][]byte, len(bj.outBlocks))
+	e.computeTime(dil, S5Compress, func() {
+		for i, b := range bj.outBlocks {
+			compressed[i] = sstable.CompressBlock(nil, b.data, e.cfg.Codec)
+		}
+	})
+
+	// S6: checksum the compressed blocks.
+	sealed := make([]sealedBlock, len(bj.outBlocks))
+	e.computeTime(dil, S6ReChecksum, func() {
+		for i, b := range bj.outBlocks {
+			sealed[i] = sealedBlock{
+				first:    b.first,
+				last:     b.last,
+				physical: sstable.ChecksumBlock(compressed[i]),
+				entries:  b.entries,
+				hashes:   b.hashes,
+			}
+		}
+	})
+	dil.settle()
+
+	wj := &writeJob{}
+	var cur sealedTable
+	for _, sb := range sealed {
+		if cur.bytes > 0 && cur.bytes+int64(len(sb.physical)) > e.cfg.TableSize {
+			wj.tables = append(wj.tables, cur)
+			cur = sealedTable{}
+		}
+		cur.blocks = append(cur.blocks, sb)
+		cur.bytes += int64(len(sb.physical))
+	}
+	if len(cur.blocks) > 0 {
+		wj.tables = append(wj.tables, cur)
+	}
+	return wj, nil
+}
+
+// computeSubtask performs S2–S6 for one sub-task (the 3-stage pipeline's
+// whole compute stage, per the paper's §III-B argument for not splitting
+// it further).
+func (e *engine) computeSubtask(job *rawJob, dil *dilation) (*writeJob, error) {
+	pj, err := e.verifyDecompress(job, dil)
+	if err != nil {
+		return nil, err
+	}
+	bj, err := e.mergeBuild(pj, dil)
+	if err != nil {
+		return nil, err
+	}
+	return e.sealSubtask(bj, dil)
+}
+
+// writeSubtask performs S7: land every output table of the sub-task.
+func (e *engine) writeSubtask(wj *writeJob) error {
+	for _, tbl := range wj.tables {
+		name, rawFile, err := e.sink()
+		if err != nil {
+			return fmt.Errorf("core: S7 creating output: %w", err)
+		}
+		// Coalesce block writes into large requests, as a buffered file
+		// (or the page cache) would; the device then sees sub-task-sized
+		// writes, matching the paper's S7 I/O granularity.
+		f := storage.NewBufferedFile(rawFile, int(e.cfg.SubtaskSize))
+		var meta sstable.TableMeta
+		var werr error
+		e.clock.time(S7Write, func() {
+			w := sstable.NewRawWriter(f, ikey.Compare)
+			w.FilterBitsPerKey = e.cfg.BloomBitsPerKey
+			for _, sb := range tbl.blocks {
+				if werr = w.AddSealedBlock(sb.first, sb.last, sb.physical, sb.entries); werr != nil {
+					return
+				}
+				w.AddFilterHashes(sb.hashes)
+			}
+			meta, werr = w.Finish()
+		})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("core: S7 writing %s: %w", name, werr)
+		}
+		e.outputBytes.Add(meta.FileSize)
+		e.outMu.Lock()
+		e.outputs = append(e.outputs, Output{Name: name, Meta: meta})
+		e.outMu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pcplsm/internal/ikey"
+	"pcplsm/internal/storage"
+)
+
+func TestPartitionEmpty(t *testing.T) {
+	if sts := Partition(nil, 1024); sts != nil {
+		t.Fatalf("Partition(nil) = %v", sts)
+	}
+	fs := storage.NewMemFS()
+	empty := buildInputTable(t, fs, "e.sst", nil, 4096)
+	if sts := Partition([]*TableSource{empty}, 1024); len(sts) != 0 {
+		t.Fatalf("empty table produced %d subtasks", len(sts))
+	}
+}
+
+func TestPartitionSingleSubtask(t *testing.T) {
+	fs := storage.NewMemFS()
+	src := buildInputTable(t, fs, "t.sst", genEntries(500, 1, 100000, 1), 1024)
+	sts := Partition([]*TableSource{src}, 0) // <=0 means one subtask
+	if len(sts) != 1 {
+		t.Fatalf("%d subtasks, want 1", len(sts))
+	}
+	st := sts[0]
+	if st.Lo != nil || st.Hi != nil {
+		t.Fatal("single subtask should be unbounded")
+	}
+	if len(st.Spans) != 1 || st.Spans[0].From != 0 || st.Spans[0].To != len(src.Entries) {
+		t.Fatalf("span = %+v, want full table", st.Spans)
+	}
+}
+
+func TestPartitionSizesRoughlyRespected(t *testing.T) {
+	fs := storage.NewMemFS()
+	src := buildInputTable(t, fs, "t.sst", genEntries(5000, 1, 1000000, 2), 1024)
+	target := int64(16 << 10)
+	sts := Partition([]*TableSource{src}, target)
+	if len(sts) < 3 {
+		t.Fatalf("only %d subtasks", len(sts))
+	}
+	for i, st := range sts {
+		if st.InputBytes <= 0 {
+			t.Fatalf("subtask %d has no bytes", i)
+		}
+		// Each subtask should not wildly exceed the target (boundary blocks
+		// can add at most ~2 blocks of overshoot).
+		if st.InputBytes > target*3 {
+			t.Fatalf("subtask %d has %d bytes, target %d", i, st.InputBytes, target)
+		}
+	}
+}
+
+func TestPartitionRangesAreOrderedAndAdjacent(t *testing.T) {
+	fs := storage.NewMemFS()
+	inputs := []*TableSource{
+		buildInputTable(t, fs, "a.sst", genEntries(2000, 1, 100000, 3), 512),
+		buildInputTable(t, fs, "b.sst", genEntries(2000, 50000, 100000, 4), 512),
+	}
+	sts := Partition(inputs, 8<<10)
+	if len(sts) < 4 {
+		t.Fatalf("only %d subtasks", len(sts))
+	}
+	if sts[0].Lo != nil {
+		t.Fatal("first subtask must be open below")
+	}
+	if sts[len(sts)-1].Hi != nil {
+		t.Fatal("last subtask must be open above")
+	}
+	for i := 1; i < len(sts); i++ {
+		if string(sts[i].Lo) != string(sts[i-1].Hi) {
+			t.Fatalf("subtasks %d/%d not adjacent", i-1, i)
+		}
+		if sts[i].Hi != nil && ikey.Compare(sts[i].Lo, sts[i].Hi) >= 0 {
+			t.Fatalf("subtask %d range inverted", i)
+		}
+	}
+}
+
+// TestPartitionCoversEveryEntryExactlyOnce is the key partitioner property:
+// summing per-subtask in-range entries over all subtasks must touch every
+// input entry exactly once.
+func TestPartitionCoversEveryEntryExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		fs := storage.NewMemFS()
+		nTables := 1 + rng.Intn(4)
+		var inputs []*TableSource
+		total := 0
+		for ti := 0; ti < nTables; ti++ {
+			n := 200 + rng.Intn(2000)
+			total += n
+			entries := genEntries(n, uint64(ti*1000000+1), 100000, int64(trial*10+ti))
+			inputs = append(inputs, buildInputTable(t, fs, fmt.Sprintf("t%d.sst", ti), entries, 512))
+		}
+		subtaskSize := int64(1<<10 + rng.Intn(64<<10))
+		sts := Partition(inputs, subtaskSize)
+
+		counted := 0
+		for si := range sts {
+			st := &sts[si]
+			for _, sp := range st.Spans {
+				src := inputs[sp.Source]
+				for b := sp.From; b < sp.To; b++ {
+					plain, err := src.R.ReadBlockData(nil, src.Entries[b].Handle)
+					if err != nil {
+						t.Fatal(err)
+					}
+					it := newConcatIter([][]byte{plain})
+					for it.next() {
+						if st.contains(it.key()) {
+							counted++
+						}
+					}
+					if it.err != nil {
+						t.Fatal(it.err)
+					}
+				}
+			}
+		}
+		if counted != total {
+			t.Fatalf("trial %d: counted %d entries across subtasks, want %d (subtasks=%d size=%d)",
+				trial, counted, total, len(sts), subtaskSize)
+		}
+	}
+}
+
+func TestSubtaskContains(t *testing.T) {
+	lo := ikey.Make([]byte("b"), 0, 0)
+	hi := ikey.Make([]byte("m"), 0, 0)
+	st := &Subtask{Lo: lo, Hi: hi}
+	cases := []struct {
+		user string
+		seq  uint64
+		want bool
+	}{
+		{"a", 5, false}, // before lo
+		{"b", 5, false}, // versions of lo's user key sort <= lo
+		{"c", 5, true},  // inside
+		{"m", 5, true},  // versions of hi's user key sort <= hi: included
+		{"n", 5, false}, // after hi
+	}
+	for _, tc := range cases {
+		k := ikey.Make([]byte(tc.user), tc.seq, ikey.KindSet)
+		if got := st.contains(k); got != tc.want {
+			t.Errorf("contains(%s) = %v, want %v", ikey.String(k), got, tc.want)
+		}
+	}
+	open := &Subtask{}
+	if !open.contains(ikey.Make([]byte("anything"), 1, ikey.KindSet)) {
+		t.Error("unbounded subtask must contain everything")
+	}
+}
+
+func TestSpanForRange(t *testing.T) {
+	fs := storage.NewMemFS()
+	// Keys user00000000..user00000099, one block per ~4 entries.
+	var entries []kv
+	for i := 0; i < 100; i++ {
+		entries = append(entries, kv{fmt.Sprintf("user%08d", i), uint64(i + 1), ikey.KindSet, "v"})
+	}
+	src := buildInputTable(t, fs, "t.sst", entries, 128)
+	n := len(src.Entries)
+	if n < 5 {
+		t.Fatalf("too few blocks: %d", n)
+	}
+
+	// Full range.
+	if f, to := spanForRange(src.Entries, nil, nil); f != 0 || to != n {
+		t.Fatalf("full range = [%d,%d), want [0,%d)", f, to, n)
+	}
+	// Range below everything.
+	lo := ikey.Make([]byte("zzzz"), 0, 0)
+	if f, to := spanForRange(src.Entries, lo, nil); f != to {
+		t.Fatalf("empty high range = [%d,%d)", f, to)
+	}
+	// Range above everything: hi smaller than all keys.
+	hi := ikey.Make([]byte("a"), 0, 0)
+	if f, to := spanForRange(src.Entries, nil, hi); f != 0 || to != 1 {
+		// Only the first block can intersect (its predecessor is -inf).
+		t.Fatalf("low range = [%d,%d), want [0,1)", f, to)
+	}
+	// A middle range must select a middle subset.
+	midLo := src.Entries[1].LastKey
+	midHi := src.Entries[3].LastKey
+	f, to := spanForRange(src.Entries, midLo, midHi)
+	if f != 2 || to != 4 {
+		t.Fatalf("middle range = [%d,%d), want [2,4)", f, to)
+	}
+}

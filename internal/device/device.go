@@ -1,0 +1,255 @@
+// Package device models storage devices (HDD, SSD) with enough fidelity to
+// reproduce the paper's experimental regimes.
+//
+// The paper's results hinge on where time goes: on HDDs, Step 1 READ plus
+// Step 7 WRITE take >60% of compaction time (I/O-bound); on SSDs the
+// computation steps take >60% (CPU-bound), and SSD writes are slower than
+// reads because of write-after-erase. The experiments also depend on two
+// second-order effects: HDD seeks when read and write streams interleave,
+// and SSD bandwidth that ramps with I/O size (internal parallelism).
+//
+// A Device charges simulated service time for each access by sleeping while
+// holding the device lock, so concurrent requests queue exactly as they
+// would on one spindle/controller. Accesses from different goroutines to
+// different Devices proceed in parallel — which is precisely what S-PPCP
+// exploits.
+package device
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Model holds the performance parameters of a device class.
+type Model struct {
+	// Name identifies the model in logs and experiment output.
+	Name string
+	// ReadLatency is the fixed per-request cost of a non-sequential read
+	// (HDD: seek + rotation; SSD: command overhead).
+	ReadLatency time.Duration
+	// WriteLatency is the fixed per-request cost of a non-sequential write.
+	WriteLatency time.Duration
+	// SeqLatency is the fixed cost of a request that continues the previous
+	// request's stream (same file, same direction, contiguous offset).
+	SeqLatency time.Duration
+	// ReadBandwidth and WriteBandwidth are sustained transfer rates in
+	// bytes per second at saturating I/O sizes.
+	ReadBandwidth  float64
+	WriteBandwidth float64
+	// SaturationIOSize, when positive, models SSD internal parallelism:
+	// requests smaller than this reach only a proportional fraction of the
+	// sustained bandwidth (floored at MinBandwidthFraction).
+	SaturationIOSize int
+	// MinBandwidthFraction floors the small-I/O bandwidth ramp (default 1/8).
+	MinBandwidthFraction float64
+}
+
+// HDD returns parameters for a 7200RPM SATA disk like the paper's testbed.
+// Positioning costs a few milliseconds (compaction reads seek between the
+// two or three input files, which sit near each other, so the average is
+// below a full-stroke seek); writes complete into the drive's write buffer
+// (low effective latency), matching the paper's observation that step
+// write is cheaper than step read on HDD. Calibrated so that compactions
+// of snappy-compressed 4KiB blocks land in the paper's Figure 5(a) regime:
+// read > 40%, read+write > 60% (I/O-bound).
+func HDD() Model {
+	return Model{
+		Name:           "hdd",
+		ReadLatency:    1500 * time.Microsecond,
+		WriteLatency:   300 * time.Microsecond,
+		SeqLatency:     50 * time.Microsecond,
+		ReadBandwidth:  120e6,
+		WriteBandwidth: 140e6,
+	}
+}
+
+// SSD returns parameters for a SATA-era flash SSD like the Intel X25-M:
+// microsecond access, reads faster than writes (write-after-erase), and
+// bandwidth that ramps with I/O size as the internal channels fill.
+// Calibrated to the paper's Figure 5(b) regime: computation > 60% of
+// compaction time (CPU-bound) and step write slower than step read.
+func SSD() Model {
+	return Model{
+		Name:                 "ssd",
+		ReadLatency:          80 * time.Microsecond,
+		WriteLatency:         150 * time.Microsecond,
+		SeqLatency:           20 * time.Microsecond,
+		ReadBandwidth:        500e6,
+		WriteBandwidth:       140e6,
+		SaturationIOSize:     256 << 10,
+		MinBandwidthFraction: 0.25,
+	}
+}
+
+// NVMe returns parameters for a modern NVMe drive — far faster than the
+// paper's hardware; with it the pipeline is deeply CPU-bound, a useful
+// extension experiment.
+func NVMe() Model {
+	return Model{
+		Name:                 "nvme",
+		ReadLatency:          15 * time.Microsecond,
+		WriteLatency:         25 * time.Microsecond,
+		SeqLatency:           5 * time.Microsecond,
+		ReadBandwidth:        3000e6,
+		WriteBandwidth:       2000e6,
+		SaturationIOSize:     1 << 20,
+		MinBandwidthFraction: 0.25,
+	}
+}
+
+// Null returns a model that charges no time at all (for pure-CPU tests).
+func Null() Model { return Model{Name: "null", ReadBandwidth: 1, WriteBandwidth: 1} }
+
+// ByName returns a preset model.
+func ByName(name string) (Model, error) {
+	switch name {
+	case "hdd":
+		return HDD(), nil
+	case "ssd":
+		return SSD(), nil
+	case "nvme":
+		return NVMe(), nil
+	case "null":
+		return Null(), nil
+	default:
+		return Model{}, fmt.Errorf("device: unknown model %q", name)
+	}
+}
+
+// serviceTime computes the unscaled duration of one access.
+func (m Model) serviceTime(write, sequential bool, n int) time.Duration {
+	if m.Name == "null" {
+		return 0
+	}
+	lat := m.ReadLatency
+	bw := m.ReadBandwidth
+	if write {
+		lat = m.WriteLatency
+		bw = m.WriteBandwidth
+	}
+	if sequential {
+		lat = m.SeqLatency
+	}
+	if m.SaturationIOSize > 0 && n < m.SaturationIOSize {
+		frac := float64(n) / float64(m.SaturationIOSize)
+		minFrac := m.MinBandwidthFraction
+		if minFrac <= 0 {
+			minFrac = 0.125
+		}
+		if frac < minFrac {
+			frac = minFrac
+		}
+		bw *= frac
+	}
+	if bw <= 0 {
+		bw = 1
+	}
+	transfer := time.Duration(float64(n) / bw * float64(time.Second))
+	return lat + transfer
+}
+
+// Stats aggregates a device's activity.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	ReadBytes  int64
+	WriteBytes int64
+	// BusyRead/BusyWrite are the (scaled) durations the device spent
+	// servicing requests; Busy is their sum. With the device lock held for
+	// the whole service time, Busy/elapsed is the device utilization.
+	BusyRead  time.Duration
+	BusyWrite time.Duration
+	// QueueWait is the total time requests waited for the device lock —
+	// contention between, e.g., the read and write stages sharing one disk.
+	QueueWait time.Duration
+}
+
+// Busy returns the total busy time.
+func (s Stats) Busy() time.Duration { return s.BusyRead + s.BusyWrite }
+
+// Device is a single simulated device instance.
+type Device struct {
+	model Model
+	scale float64 // multiplies all charged durations; 0 disables sleeping
+
+	mu        sync.Mutex
+	lastFile  uint64
+	lastEnd   int64
+	lastWrite bool
+	haveLast  bool
+	// credit banks sleep overshoot. OS sleeps overshoot their target by up
+	// to ~1ms, far more than a small request's service time; each access
+	// therefore sleeps (serviceTime − credit) and banks whatever the OS
+	// oversleeps. Long-run charged time equals modeled time, and each
+	// access pays (almost all of) its own cost, keeping per-step
+	// attribution accurate.
+	credit time.Duration
+	stats  Stats
+}
+
+// New returns a Device with the given model. scale multiplies every charged
+// duration: 1.0 is real-time fidelity, smaller values run experiments
+// proportionally faster, and 0 disables time charging entirely (for fast
+// functional tests; byte/op counters still accumulate).
+func New(m Model, scale float64) *Device {
+	if scale < 0 {
+		scale = 0
+	}
+	return &Device{model: m, scale: scale}
+}
+
+// Model returns the device's model parameters.
+func (d *Device) Model() Model { return d.model }
+
+// Access charges one request against the device and blocks for its scaled
+// service time. file identifies the stream (any stable per-file value);
+// off/n give the byte range.
+func (d *Device) Access(write bool, file uint64, off int64, n int) {
+	start := time.Now()
+	d.mu.Lock()
+	wait := time.Since(start)
+
+	seq := d.haveLast && d.lastFile == file && d.lastWrite == write && d.lastEnd == off
+	dur := d.model.serviceTime(write, seq, n)
+	scaled := time.Duration(float64(dur) * d.scale)
+	if scaled > 0 {
+		if d.credit >= scaled {
+			d.credit -= scaled
+		} else {
+			target := scaled - d.credit
+			t0 := time.Now()
+			time.Sleep(target)
+			d.credit = time.Since(t0) - target
+		}
+	}
+
+	d.lastFile, d.lastEnd, d.lastWrite, d.haveLast = file, off+int64(n), write, true
+	d.stats.QueueWait += wait
+	if write {
+		d.stats.Writes++
+		d.stats.WriteBytes += int64(n)
+		d.stats.BusyWrite += scaled
+	} else {
+		d.stats.Reads++
+		d.stats.ReadBytes += int64(n)
+		d.stats.BusyRead += scaled
+	}
+	d.mu.Unlock()
+}
+
+// Stats returns a snapshot of the device's counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+	d.haveLast = false
+	d.credit = 0
+}

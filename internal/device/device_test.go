@@ -1,0 +1,187 @@
+package device
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"hdd", "ssd", "nvme", "null"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, m.Name)
+		}
+	}
+	if _, err := ByName("floppy"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestServiceTimeShape(t *testing.T) {
+	hdd := HDD()
+	// Random read of 512KB on HDD: dominated by seek.
+	r := hdd.serviceTime(false, false, 512<<10)
+	if r < hdd.ReadLatency {
+		t.Fatalf("random read %v < seek %v", r, hdd.ReadLatency)
+	}
+	// Sequential read must be much cheaper than random.
+	seq := hdd.serviceTime(false, true, 512<<10)
+	if seq >= r {
+		t.Fatalf("sequential %v not cheaper than random %v", seq, r)
+	}
+	// HDD write has lower fixed cost than read (write buffer).
+	w := hdd.serviceTime(true, false, 512<<10)
+	if w >= r {
+		t.Fatalf("hdd write %v should be cheaper than read %v", w, r)
+	}
+
+	ssd := SSD()
+	// SSD write slower than read at same size (write-after-erase).
+	sr := ssd.serviceTime(false, false, 512<<10)
+	sw := ssd.serviceTime(true, false, 512<<10)
+	if sw <= sr {
+		t.Fatalf("ssd write %v should exceed read %v", sw, sr)
+	}
+	// SSD is far faster than HDD for small random I/O (paper: "the
+	// bandwidth of SSD may be over five times larger than HDD especially
+	// for random I/Os").
+	ssdSmall := ssd.serviceTime(false, false, 4<<10)
+	hddSmall := hdd.serviceTime(false, false, 4<<10)
+	if ssdSmall*5 > hddSmall {
+		t.Fatalf("ssd random 4K read %v not ≥5x faster than hdd %v", ssdSmall, hddSmall)
+	}
+}
+
+func TestSSDBandwidthRampsWithIOSize(t *testing.T) {
+	ssd := SSD()
+	// Per-byte cost should decrease as I/O size grows toward saturation.
+	perByte := func(n int) float64 {
+		return float64(ssd.serviceTime(false, false, n)) / float64(n)
+	}
+	small := perByte(16 << 10)
+	mid := perByte(128 << 10)
+	big := perByte(1 << 20)
+	if !(small > mid && mid > big) {
+		t.Fatalf("per-byte cost not decreasing: 16K=%v 128K=%v 1M=%v", small, mid, big)
+	}
+}
+
+func TestNullModelChargesNothing(t *testing.T) {
+	if Null().serviceTime(true, false, 1<<20) != 0 {
+		t.Fatal("null model should charge zero")
+	}
+}
+
+func TestDeviceAccountsStats(t *testing.T) {
+	d := New(SSD(), 0) // scale 0: account durations, never sleep
+	d.Access(false, 1, 0, 1000)
+	d.Access(true, 2, 0, 2000)
+	d.Access(true, 2, 2000, 3000)
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.ReadBytes != 1000 || s.WriteBytes != 5000 {
+		t.Fatalf("bytes: %+v", s)
+	}
+	if s.Busy() != 0 {
+		t.Fatalf("scale 0 should charge no busy time, got %v", s.Busy())
+	}
+	d.ResetStats()
+	if st := d.Stats(); st.Reads != 0 || st.WriteBytes != 0 {
+		t.Fatalf("ResetStats did not clear: %+v", st)
+	}
+}
+
+func TestDeviceBusyTimeScales(t *testing.T) {
+	m := Model{Name: "test", ReadLatency: 3 * time.Millisecond, ReadBandwidth: 1e9, WriteBandwidth: 1e9}
+	d := New(m, 1.0)
+	start := time.Now()
+	d.Access(false, 1, 0, 0)
+	if el := time.Since(start); el < 2700*time.Microsecond {
+		t.Fatalf("3ms access returned after %v", el)
+	}
+	if busy := d.Stats().BusyRead; busy < 2700*time.Microsecond {
+		t.Fatalf("busy time %v", busy)
+	}
+}
+
+func TestDeviceSleepDebtAmortizes(t *testing.T) {
+	// 1000 requests of ~200µs must take ~200ms total, not 1000 × the OS
+	// sleep granularity.
+	m := Model{Name: "test", ReadLatency: 200 * time.Microsecond, ReadBandwidth: 1e12, WriteBandwidth: 1e12}
+	d := New(m, 1.0)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		d.Access(false, 1, int64(i*100+1), 1) // non-contiguous: always random
+	}
+	el := time.Since(start)
+	if el < 150*time.Millisecond || el > 400*time.Millisecond {
+		t.Fatalf("1000×200µs accesses took %v, want ~200ms", el)
+	}
+}
+
+func TestDeviceSerializesConcurrentAccess(t *testing.T) {
+	m := Model{Name: "test", ReadLatency: 2 * time.Millisecond, ReadBandwidth: 1e12, WriteBandwidth: 1e12}
+	d := New(m, 1.0)
+	const n = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d.Access(false, uint64(i), 0, 0)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < n*2*time.Millisecond*8/10 {
+		t.Fatalf("8 concurrent 2ms accesses finished in %v; device did not serialize", elapsed)
+	}
+	if qw := d.Stats().QueueWait; qw == 0 {
+		t.Fatal("expected queue wait under contention")
+	}
+}
+
+func TestSequentialDetection(t *testing.T) {
+	m := Model{Name: "test", ReadLatency: 10 * time.Millisecond, SeqLatency: 0,
+		ReadBandwidth: 1e12, WriteBandwidth: 1e12}
+	d := New(m, 1.0)
+	d.Access(false, 7, 0, 100) // random: pays 10ms
+	start := time.Now()
+	d.Access(false, 7, 100, 100) // sequential continuation: ~free
+	if el := time.Since(start); el > 5*time.Millisecond {
+		t.Fatalf("sequential access took %v", el)
+	}
+	start = time.Now()
+	d.Access(false, 7, 500, 100) // gap: random again
+	if el := time.Since(start); el < 8*time.Millisecond {
+		t.Fatalf("non-contiguous access took only %v", el)
+	}
+}
+
+func TestInterleavedReadWriteBreaksSequentiality(t *testing.T) {
+	m := Model{Name: "test", ReadLatency: 5 * time.Millisecond, WriteLatency: 5 * time.Millisecond,
+		SeqLatency: 0, ReadBandwidth: 1e12, WriteBandwidth: 1e12}
+	d := New(m, 1.0)
+	d.Access(false, 1, 0, 100)
+	start := time.Now()
+	d.Access(true, 1, 100, 100) // direction change: full latency, like a disk-arm seek
+	if el := time.Since(start); el < 4*time.Millisecond {
+		t.Fatalf("read→write switch took only %v; should pay full latency", el)
+	}
+}
+
+func TestNegativeScaleClamped(t *testing.T) {
+	d := New(HDD(), -5)
+	start := time.Now()
+	d.Access(false, 1, 0, 1<<20)
+	if time.Since(start) > 2*time.Millisecond {
+		t.Fatal("negative scale should disable sleeping")
+	}
+}

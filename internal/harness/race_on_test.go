@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is active. The shape tests
+// measure real CPU-vs-I/O ratios; the detector's 5-10x CPU overhead pushes
+// every configuration CPU-bound, so those tests skip themselves under -race
+// (functional coverage still runs in the other packages' race tests).
+const raceEnabled = true

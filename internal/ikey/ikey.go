@@ -1,0 +1,118 @@
+// Package ikey defines the internal key encoding shared by the memtable,
+// SSTables and the compaction merge step.
+//
+// An internal key is the user key followed by an 8-byte little-endian
+// trailer packing a 56-bit sequence number and an 8-bit kind:
+//
+//	| user key ... | (seq << 8 | kind) as uint64 LE |
+//
+// Internal keys order by user key ascending, then sequence number
+// descending, then kind descending — so the newest version of a user key is
+// encountered first, which is what lets the compaction merge (Step 4 SORT)
+// drop shadowed versions and deletion tombstones.
+package ikey
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind discriminates entry types inside the tree.
+type Kind uint8
+
+const (
+	// KindDelete marks a deletion tombstone.
+	KindDelete Kind = 0
+	// KindSet marks a normal key/value entry.
+	KindSet Kind = 1
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindDelete:
+		return "del"
+	case KindSet:
+		return "set"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// MaxSeq is the largest representable sequence number (56 bits).
+const MaxSeq = uint64(1)<<56 - 1
+
+// TrailerLen is the byte length of the encoded trailer.
+const TrailerLen = 8
+
+// Make appends the trailer for (seq, kind) to user and returns the internal
+// key. It does not alias user's backing array beyond what append does;
+// callers that must not mutate user should pass a copy.
+func Make(user []byte, seq uint64, kind Kind) []byte {
+	if seq > MaxSeq {
+		panic(fmt.Sprintf("ikey: sequence %d exceeds MaxSeq", seq))
+	}
+	ik := make([]byte, 0, len(user)+TrailerLen)
+	ik = append(ik, user...)
+	var tr [TrailerLen]byte
+	binary.LittleEndian.PutUint64(tr[:], seq<<8|uint64(kind))
+	return append(ik, tr[:]...)
+}
+
+// SearchKey returns the internal key that sorts before every version of
+// user visible at snapshot seq — i.e. the seek target for a read at seq.
+func SearchKey(user []byte, seq uint64) []byte {
+	return Make(user, seq, Kind(0xff))
+}
+
+// Valid reports whether ik is long enough to carry a trailer.
+func Valid(ik []byte) bool { return len(ik) >= TrailerLen }
+
+// UserKey returns the user-key portion of ik.
+func UserKey(ik []byte) []byte {
+	if !Valid(ik) {
+		panic(fmt.Sprintf("ikey: invalid internal key of %d bytes", len(ik)))
+	}
+	return ik[:len(ik)-TrailerLen]
+}
+
+// Trailer returns the packed (seq<<8|kind) trailer value.
+func Trailer(ik []byte) uint64 {
+	if !Valid(ik) {
+		panic(fmt.Sprintf("ikey: invalid internal key of %d bytes", len(ik)))
+	}
+	return binary.LittleEndian.Uint64(ik[len(ik)-TrailerLen:])
+}
+
+// Seq extracts the sequence number.
+func Seq(ik []byte) uint64 { return Trailer(ik) >> 8 }
+
+// KindOf extracts the kind.
+func KindOf(ik []byte) Kind { return Kind(Trailer(ik) & 0xff) }
+
+// Compare orders internal keys: user key ascending, then trailer (seq,kind)
+// descending. It panics on malformed keys — such keys indicate corruption
+// that must not be silently ordered.
+func Compare(a, b []byte) int {
+	if c := bytes.Compare(UserKey(a), UserKey(b)); c != 0 {
+		return c
+	}
+	ta, tb := Trailer(a), Trailer(b)
+	switch {
+	case ta > tb:
+		return -1
+	case ta < tb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders ik for debugging, e.g. "user0001#42,set".
+func String(ik []byte) string {
+	if !Valid(ik) {
+		return fmt.Sprintf("badikey(%q)", ik)
+	}
+	return fmt.Sprintf("%q#%d,%v", UserKey(ik), Seq(ik), KindOf(ik))
+}

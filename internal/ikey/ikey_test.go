@@ -1,0 +1,166 @@
+package ikey
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeAndExtract(t *testing.T) {
+	ik := Make([]byte("hello"), 12345, KindSet)
+	if string(UserKey(ik)) != "hello" {
+		t.Fatalf("UserKey = %q", UserKey(ik))
+	}
+	if Seq(ik) != 12345 {
+		t.Fatalf("Seq = %d", Seq(ik))
+	}
+	if KindOf(ik) != KindSet {
+		t.Fatalf("Kind = %v", KindOf(ik))
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(user []byte, seq uint64, isSet bool) bool {
+		seq %= MaxSeq + 1
+		kind := KindDelete
+		if isSet {
+			kind = KindSet
+		}
+		ik := Make(user, seq, kind)
+		return bytes.Equal(UserKey(ik), user) && Seq(ik) == seq && KindOf(ik) == kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for seq > MaxSeq")
+		}
+	}()
+	Make([]byte("k"), MaxSeq+1, KindSet)
+}
+
+func TestCompareOrdering(t *testing.T) {
+	// In expected order, earliest first.
+	ordered := [][]byte{
+		Make([]byte("a"), 9, KindSet),
+		Make([]byte("a"), 5, KindSet),
+		Make([]byte("a"), 5, KindDelete), // same seq: Set(1) sorts before Delete(0)
+		Make([]byte("a"), 1, KindSet),
+		Make([]byte("b"), 100, KindDelete),
+		Make([]byte("b"), 2, KindSet),
+		Make([]byte("ba"), 50, KindSet),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%s, %s) = %d, want %d", String(ordered[i]), String(ordered[j]), got, want)
+			}
+		}
+	}
+}
+
+func TestCompareNewestFirstProperty(t *testing.T) {
+	f := func(user []byte, s1, s2 uint64) bool {
+		s1 %= MaxSeq + 1
+		s2 %= MaxSeq + 1
+		a := Make(user, s1, KindSet)
+		b := Make(user, s2, KindSet)
+		switch {
+		case s1 > s2:
+			return Compare(a, b) < 0 // newer sorts first
+		case s1 < s2:
+			return Compare(a, b) > 0
+		default:
+			return Compare(a, b) == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchKeySortsBeforeAllVersions(t *testing.T) {
+	user := []byte("k")
+	snap := uint64(50)
+	sk := SearchKey(user, snap)
+	// SearchKey(user, 50) must sort <= every version with seq <= 50 and
+	// after every version with seq > 50.
+	for seq := uint64(0); seq <= 100; seq += 5 {
+		for _, kind := range []Kind{KindDelete, KindSet} {
+			v := Make(user, seq, kind)
+			c := Compare(sk, v)
+			if seq <= snap && c > 0 {
+				t.Errorf("SearchKey(50) sorts after version seq=%d kind=%v", seq, kind)
+			}
+			if seq > snap && c <= 0 {
+				t.Errorf("SearchKey(50) does not sort after newer version seq=%d", seq)
+			}
+		}
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	// Sorting a shuffled set of internal keys with Compare must group user
+	// keys and order versions newest-first within each group.
+	var keys [][]byte
+	for _, u := range []string{"b", "a", "c"} {
+		for _, s := range []uint64{3, 1, 7, 2} {
+			keys = append(keys, Make([]byte(u), s, KindSet))
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return Compare(keys[i], keys[j]) < 0 })
+	wantUsers := []string{"a", "a", "a", "a", "b", "b", "b", "b", "c", "c", "c", "c"}
+	wantSeqs := []uint64{7, 3, 2, 1, 7, 3, 2, 1, 7, 3, 2, 1}
+	for i, k := range keys {
+		if string(UserKey(k)) != wantUsers[i] || Seq(k) != wantSeqs[i] {
+			t.Fatalf("position %d: got %s", i, String(k))
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if Valid(make([]byte, 7)) {
+		t.Error("7 bytes should be invalid")
+	}
+	if !Valid(make([]byte, 8)) {
+		t.Error("8 bytes (empty user key) should be valid")
+	}
+}
+
+func TestEmptyUserKey(t *testing.T) {
+	ik := Make(nil, 1, KindSet)
+	if len(UserKey(ik)) != 0 {
+		t.Fatalf("UserKey = %q", UserKey(ik))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSet.String() != "set" || KindDelete.String() != "del" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := String(Make([]byte("u"), 7, KindDelete))
+	if s != `"u"#7,del` {
+		t.Fatalf("String = %s", s)
+	}
+	if String([]byte{1}) == "" {
+		t.Fatal("short key should render a diagnostic")
+	}
+}

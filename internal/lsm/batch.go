@@ -1,0 +1,114 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pcplsm/internal/ikey"
+)
+
+// Batch collects writes that commit atomically: one WAL record, one
+// sequence-number range, applied to the memtable together.
+type Batch struct {
+	entries []batchEntry
+	size    int64
+}
+
+type batchEntry struct {
+	kind ikey.Kind
+	key  []byte
+	val  []byte
+}
+
+// Put queues a set operation. The key and value are copied.
+func (b *Batch) Put(key, value []byte) {
+	b.entries = append(b.entries, batchEntry{
+		kind: ikey.KindSet,
+		key:  append([]byte(nil), key...),
+		val:  append([]byte(nil), value...),
+	})
+	b.size += int64(len(key) + len(value))
+}
+
+// Delete queues a deletion. The key is copied.
+func (b *Batch) Delete(key []byte) {
+	b.entries = append(b.entries, batchEntry{
+		kind: ikey.KindDelete,
+		key:  append([]byte(nil), key...),
+	})
+	b.size += int64(len(key))
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.entries) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() {
+	b.entries = b.entries[:0]
+	b.size = 0
+}
+
+// encode serializes the batch as a WAL record with base sequence seq:
+//
+//	uvarint seq | uvarint count | count × (kind byte | klen | key | [vlen | value])
+func (b *Batch) encode(seq uint64) []byte {
+	buf := binary.AppendUvarint(nil, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(b.entries)))
+	for _, e := range b.entries {
+		buf = append(buf, byte(e.kind))
+		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+		buf = append(buf, e.key...)
+		if e.kind == ikey.KindSet {
+			buf = binary.AppendUvarint(buf, uint64(len(e.val)))
+			buf = append(buf, e.val...)
+		}
+	}
+	return buf
+}
+
+// decodeBatch parses a WAL record back into operations.
+func decodeBatch(rec []byte) (seq uint64, entries []batchEntry, err error) {
+	bad := func(what string) (uint64, []batchEntry, error) {
+		return 0, nil, fmt.Errorf("lsm: corrupt batch record: %s", what)
+	}
+	seq, n := binary.Uvarint(rec)
+	if n <= 0 {
+		return bad("seq")
+	}
+	rec = rec[n:]
+	count, n := binary.Uvarint(rec)
+	if n <= 0 {
+		return bad("count")
+	}
+	rec = rec[n:]
+	for i := uint64(0); i < count; i++ {
+		if len(rec) < 1 {
+			return bad("kind")
+		}
+		kind := ikey.Kind(rec[0])
+		if kind != ikey.KindSet && kind != ikey.KindDelete {
+			return bad("unknown kind")
+		}
+		rec = rec[1:]
+		klen, n := binary.Uvarint(rec)
+		if n <= 0 || uint64(len(rec)-n) < klen {
+			return bad("key")
+		}
+		key := rec[n : n+int(klen)]
+		rec = rec[n+int(klen):]
+		var val []byte
+		if kind == ikey.KindSet {
+			vlen, n := binary.Uvarint(rec)
+			if n <= 0 || uint64(len(rec)-n) < vlen {
+				return bad("value")
+			}
+			val = rec[n : n+int(vlen)]
+			rec = rec[n+int(vlen):]
+		}
+		entries = append(entries, batchEntry{kind: kind, key: key, val: val})
+	}
+	if len(rec) != 0 {
+		return bad("trailing bytes")
+	}
+	return seq, entries, nil
+}

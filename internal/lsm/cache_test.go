@@ -1,0 +1,88 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"pcplsm/internal/storage"
+)
+
+// TestBlockCacheServesRepeatedReads: repeated Gets against table data hit
+// the block cache instead of re-reading blocks.
+func TestBlockCacheServesRepeatedReads(t *testing.T) {
+	opts := smallOpts(storage.NewMemFS())
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	ref := loadKeys(t, db, 2000, 91, 80)
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First pass warms the cache; second pass should be mostly hits.
+	verifyAll(t, db, ref)
+	mid := db.Stats()
+	verifyAll(t, db, ref)
+	final := db.Stats()
+
+	newHits := final.BlockCacheHits - mid.BlockCacheHits
+	newMisses := final.BlockCacheMisses - mid.BlockCacheMisses
+	if newHits == 0 {
+		t.Fatal("no cache hits on a repeated read pass")
+	}
+	if newMisses > newHits {
+		t.Fatalf("warm pass: %d misses vs %d hits", newMisses, newHits)
+	}
+	t.Logf("warm pass: %d hits, %d misses", newHits, newMisses)
+}
+
+// TestBlockCacheDisabled: a negative capacity disables caching entirely.
+func TestBlockCacheDisabled(t *testing.T) {
+	opts := smallOpts(storage.NewMemFS())
+	opts.BlockCacheBytes = -1
+	db := mustOpen(t, opts)
+	defer db.Close()
+	ref := loadKeys(t, db, 1000, 92, 80)
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, db, ref)
+	verifyAll(t, db, ref)
+	st := db.Stats()
+	if st.BlockCacheHits != 0 || st.BlockCacheMisses != 0 {
+		t.Fatalf("cache counters active while disabled: %d/%d",
+			st.BlockCacheHits, st.BlockCacheMisses)
+	}
+}
+
+// TestBlockCacheCorrectAcrossCompaction: cached blocks of deleted tables
+// must never serve stale data.
+func TestBlockCacheCorrectAcrossCompaction(t *testing.T) {
+	opts := smallOpts(storage.NewMemFS())
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("ck%05d", i)), []byte("v1"))
+	}
+	db.Flush()
+	// Warm the cache with v1 reads.
+	for i := 0; i < 1000; i += 10 {
+		db.Get([]byte(fmt.Sprintf("ck%05d", i)))
+	}
+	// Overwrite and compact everything down.
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("ck%05d", i)), []byte("v2"))
+	}
+	db.Flush()
+	if err := db.CompactLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		got, err := db.Get([]byte(fmt.Sprintf("ck%05d", i)))
+		if err != nil || string(got) != "v2" {
+			t.Fatalf("ck%05d = %q, %v after compaction", i, got, err)
+		}
+	}
+}

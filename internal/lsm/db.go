@@ -1,0 +1,976 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pcplsm/internal/cache"
+	"pcplsm/internal/core"
+	"pcplsm/internal/ikey"
+	"pcplsm/internal/memtable"
+	"pcplsm/internal/sstable"
+	"pcplsm/internal/storage"
+	"pcplsm/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("lsm: database is closed")
+
+// ErrNotFound is returned by Get when the key does not exist.
+var ErrNotFound = errors.New("lsm: key not found")
+
+// walFileName renders the name of WAL number num.
+func walFileName(num uint64) string { return fmt.Sprintf("%06d.log", num) }
+
+// DB is the LSM-tree store.
+type DB struct {
+	opts   Options
+	fs     storage.FS
+	vs     *versionSet
+	bcache *cache.Cache
+	cache  *tableCache
+	man    *manifest
+	stats  statsCollector
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	mem        *memtable.Memtable
+	imm        *memtable.Memtable
+	wal        *wal.Writer
+	walNum     uint64
+	immWalNum  uint64
+	seq        uint64
+	compactPtr [NumLevels][]byte // round-robin compaction cursors
+	snapshots  map[uint64]int    // live snapshot seq -> refcount
+	working    bool              // background work unit in flight
+	closed     bool
+	bgErr      error
+
+	bgWork chan struct{}
+	bgQuit chan struct{}
+	bgDone chan struct{}
+}
+
+// Open opens (creating or recovering) a DB on opts.FS.
+func Open(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if opts.FS == nil {
+		return nil, errors.New("lsm: Options.FS is required")
+	}
+	var blockCache *cache.Cache
+	if opts.BlockCacheBytes > 0 {
+		blockCache = cache.New(opts.BlockCacheBytes)
+	}
+	db := &DB{
+		opts:      opts,
+		fs:        opts.FS,
+		vs:        newVersionSet(),
+		bcache:    blockCache,
+		cache:     newTableCache(opts.FS, blockCache),
+		mem:       memtable.New(),
+		snapshots: map[uint64]int{},
+		bgWork:    make(chan struct{}, 1),
+		bgQuit:    make(chan struct{}),
+		bgDone:    make(chan struct{}),
+	}
+	db.cond = sync.NewCond(&db.mu)
+
+	if err := db.recover(); err != nil {
+		return nil, err
+	}
+
+	// Start the fresh WAL.
+	num := db.vs.NewFileNum()
+	f, err := db.fs.Create(walFileName(num))
+	if err != nil {
+		return nil, err
+	}
+	db.wal = wal.NewWriter(f)
+	db.walNum = num
+
+	man, err := openManifest(db.fs)
+	if err != nil {
+		return nil, err
+	}
+	db.man = man
+
+	// Checkpoint: flush anything recovered from old WALs so one manifest
+	// record supersedes every old log, then drop the leftovers.
+	rec := &manifestRecord{WALNum: num, Seq: db.seq, NextFile: db.vs.NewFileNum()}
+	if db.mem.Count() > 0 {
+		meta, ferr := db.writeLevel0Table(db.mem)
+		if ferr != nil {
+			return nil, fmt.Errorf("lsm: flushing recovered memtable: %w", ferr)
+		}
+		edit := NewVersionEdit()
+		edit.AddTable(0, meta)
+		db.vs.Apply(edit)
+		rec.Added = map[int][]manifestTable{0: toManifestTables([]*TableMeta{meta})}
+		db.mem = memtable.New()
+	}
+	if err := db.man.append(rec); err != nil {
+		return nil, err
+	}
+	db.removeObsoleteFiles()
+
+	go db.backgroundLoop()
+	return db, nil
+}
+
+// recover rebuilds state from the manifest and replays every leftover WAL
+// (in file-number order) into the memtable. Open then flushes the replayed
+// data and deletes the old logs.
+func (db *DB) recover() error {
+	if storage.Exists(db.fs, manifestName) {
+		edits, err := replayManifest(db.fs)
+		if err != nil {
+			return fmt.Errorf("lsm: replaying manifest: %w", err)
+		}
+		for _, rec := range edits {
+			edit := NewVersionEdit()
+			for level, tables := range rec.Added {
+				for _, t := range tables {
+					meta := fromManifestTable(t)
+					edit.AddTable(level, meta)
+					db.vs.bumpFileNum(meta.Num)
+				}
+			}
+			for level, nums := range rec.Deleted {
+				for _, n := range nums {
+					edit.DeleteTable(level, n)
+				}
+			}
+			db.vs.Apply(edit)
+			if rec.WALNum > 0 {
+				db.vs.bumpFileNum(rec.WALNum)
+			}
+			if rec.Seq > db.seq {
+				db.seq = rec.Seq
+			}
+			if rec.NextFile > 0 {
+				db.vs.bumpFileNum(rec.NextFile - 1)
+			}
+		}
+		if err := db.vs.Current().checkInvariants(); err != nil {
+			return err
+		}
+	}
+
+	// Replay surviving logs oldest-first. Flushes delete superseded logs,
+	// so whatever is on disk is live.
+	names, err := db.fs.List()
+	if err != nil {
+		return err
+	}
+	var logNums []uint64
+	for _, name := range names {
+		if strings.HasSuffix(name, ".log") {
+			if n, perr := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64); perr == nil {
+				logNums = append(logNums, n)
+				db.vs.bumpFileNum(n)
+			}
+		}
+	}
+	sort.Slice(logNums, func(i, j int) bool { return logNums[i] < logNums[j] })
+	for _, num := range logNums {
+		recs, rerr := wal.ReadAllRecords(db.fs, walFileName(num))
+		for _, rec := range recs {
+			seq, entries, derr := decodeBatch(rec)
+			if derr != nil {
+				break
+			}
+			for i, e := range entries {
+				s := seq + uint64(i)
+				if e.kind == ikey.KindDelete {
+					db.mem.Delete(s, e.key)
+				} else {
+					db.mem.Put(s, e.key, e.val)
+				}
+				if s > db.seq {
+					db.seq = s
+				}
+			}
+		}
+		// A torn tail is expected after a crash: keep the prefix, stop at
+		// damage, and let any structural error other than corruption fail
+		// the open.
+		if rerr != nil && !errors.Is(rerr, wal.ErrCorrupt) {
+			return fmt.Errorf("lsm: replaying WAL %d: %w", num, rerr)
+		}
+	}
+	return nil
+}
+
+// Close stops background work, syncs the WAL, and releases resources. Data
+// already acknowledged is recoverable via WAL + manifest replay.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.closed = true
+	db.cond.Broadcast()
+	db.mu.Unlock()
+
+	close(db.bgQuit)
+	db.nudge()
+	<-db.bgDone
+
+	var first error
+	if err := db.wal.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := db.man.close(); err != nil && first == nil {
+		first = err
+	}
+	db.cache.Close()
+	return first
+}
+
+// nudge wakes the background loop.
+func (db *DB) nudge() {
+	select {
+	case db.bgWork <- struct{}{}:
+	default:
+	}
+}
+
+// Put writes a key/value pair.
+func (db *DB) Put(key, value []byte) error {
+	var b Batch
+	b.Put(key, value)
+	return db.Write(&b)
+}
+
+// Delete removes a key.
+func (db *DB) Delete(key []byte) error {
+	var b Batch
+	b.Delete(key)
+	return db.Write(&b)
+}
+
+// Write commits a batch atomically.
+func (db *DB) Write(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.makeRoomForWrite(); err != nil {
+		return err
+	}
+	base := db.seq + 1
+	db.seq += uint64(b.Len())
+	if err := db.wal.Append(b.encode(base)); err != nil {
+		return fmt.Errorf("lsm: appending to WAL: %w", err)
+	}
+	if db.opts.SyncWAL {
+		if err := db.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	var puts, dels int64
+	for i, e := range b.entries {
+		s := base + uint64(i)
+		if e.kind == ikey.KindDelete {
+			db.mem.Delete(s, e.key)
+			dels++
+		} else {
+			db.mem.Put(s, e.key, e.val)
+			puts++
+		}
+	}
+	db.stats.update(func(s *Stats) { s.Puts += puts; s.Deletes += dels })
+	return nil
+}
+
+// makeRoomForWrite rotates the memtable and stalls writers, mirroring
+// LevelDB: the "write pauses" the paper attributes to slow compaction
+// happen here. Called with db.mu held.
+func (db *DB) makeRoomForWrite() error {
+	for {
+		switch {
+		case db.bgErr != nil:
+			return db.bgErr
+		case db.closed:
+			return ErrClosed
+		case db.mem.ApproximateSize() < db.opts.MemtableSize &&
+			(db.opts.DisableAutoCompaction ||
+				len(db.vs.Current().Levels[0]) < db.opts.L0StallTrigger):
+			// With auto-compaction disabled nothing will ever drain L0, so
+			// the stall would deadlock; the caller asked for manual control.
+			return nil
+		case db.mem.ApproximateSize() < db.opts.MemtableSize:
+			// Too many L0 tables: stall until compaction drains them.
+			db.stallWait()
+		case db.imm != nil:
+			// Previous memtable still flushing: stall.
+			db.stallWait()
+		default:
+			// Rotate: seal the memtable and switch to a fresh WAL.
+			num := db.vs.NewFileNum()
+			f, err := db.fs.Create(walFileName(num))
+			if err != nil {
+				return err
+			}
+			if err := db.wal.Close(); err != nil {
+				f.Close()
+				return err
+			}
+			db.imm = db.mem
+			db.immWalNum = db.walNum
+			db.mem = memtable.New()
+			db.wal = wal.NewWriter(f)
+			db.walNum = num
+			db.nudge()
+		}
+	}
+}
+
+// stallWait blocks the writer until background work changes state.
+func (db *DB) stallWait() {
+	start := time.Now()
+	db.nudge()
+	db.cond.Wait()
+	db.stats.update(func(s *Stats) {
+		s.StallCount++
+		s.StallTime += time.Since(start)
+	})
+}
+
+// Get returns the current value of key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.getAt(key, 0) }
+
+// getAt reads key at sequence seq (0 = latest).
+func (db *DB) getAt(key []byte, seq uint64) ([]byte, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mem, imm, v, snap := db.mem, db.imm, db.vs.Current(), db.seq
+	if seq != 0 {
+		snap = seq
+	}
+	db.mu.Unlock()
+	db.stats.update(func(s *Stats) { s.Gets++ })
+
+	if val, deleted, ok := mem.Get(key, snap); ok {
+		if deleted {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), val...), nil
+	}
+	if imm != nil {
+		if val, deleted, ok := imm.Get(key, snap); ok {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), val...), nil
+		}
+	}
+
+	search := ikey.SearchKey(key, snap)
+	// L0: newest table first; ranges may overlap.
+	l0 := v.Levels[0]
+	for i := len(l0) - 1; i >= 0; i-- {
+		t := l0[i]
+		if !userInRange(key, t) {
+			continue
+		}
+		val, deleted, ok, err := db.searchTable(t, key, search)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			return val, nil
+		}
+	}
+	// Deeper levels: at most one candidate table per level.
+	for level := 1; level < NumLevels; level++ {
+		tables := v.Levels[level]
+		idx := sort.Search(len(tables), func(i int) bool {
+			return string(ikey.UserKey(tables[i].Largest)) >= string(key)
+		})
+		if idx == len(tables) || !userInRange(key, tables[idx]) {
+			continue
+		}
+		val, deleted, ok, err := db.searchTable(tables[idx], key, search)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			return val, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// userInRange reports whether user key k may be inside table t.
+func userInRange(k []byte, t *TableMeta) bool {
+	return string(k) >= string(ikey.UserKey(t.Smallest)) &&
+		string(k) <= string(ikey.UserKey(t.Largest))
+}
+
+// searchTable looks key up in one table at snapshot search key.
+func (db *DB) searchTable(t *TableMeta, key, search []byte) (val []byte, deleted, ok bool, err error) {
+	r, err := db.cache.Get(t.Num)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if !r.MayContain(key) {
+		// The Bloom filter proves the key absent: skip the block reads.
+		db.stats.update(func(s *Stats) { s.FilterSkips++ })
+		return nil, false, false, nil
+	}
+	it := r.NewIter()
+	if !it.Seek(search) {
+		return nil, false, false, it.Err()
+	}
+	k := it.Key()
+	if string(ikey.UserKey(k)) != string(key) {
+		return nil, false, false, nil
+	}
+	if ikey.KindOf(k) == ikey.KindDelete {
+		return nil, true, true, nil
+	}
+	return append([]byte(nil), it.Value()...), false, true, nil
+}
+
+// Stats returns a snapshot of cumulative statistics.
+func (db *DB) Stats() Stats {
+	s := db.stats.snapshot()
+	if db.bcache != nil {
+		s.BlockCacheHits, s.BlockCacheMisses = db.bcache.Stats()
+	}
+	return s
+}
+
+// Version returns the current table layout (for inspection and tests).
+func (db *DB) Version() *Version { return db.vs.Current() }
+
+// Seq returns the last committed sequence number.
+func (db *DB) Seq() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.seq
+}
+
+// Flush forces the current memtable to disk and waits for it.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	for db.imm != nil && db.bgErr == nil && !db.closed {
+		db.nudge()
+		db.cond.Wait()
+	}
+	if db.bgErr != nil || db.closed {
+		return firstErr(db.bgErr, ErrClosed)
+	}
+	if db.mem.Count() > 0 {
+		num := db.vs.NewFileNum()
+		f, err := db.fs.Create(walFileName(num))
+		if err != nil {
+			return err
+		}
+		if err := db.wal.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		db.imm = db.mem
+		db.immWalNum = db.walNum
+		db.mem = memtable.New()
+		db.wal = wal.NewWriter(f)
+		db.walNum = num
+	}
+	for db.imm != nil && db.bgErr == nil && !db.closed {
+		db.nudge()
+		db.cond.Wait()
+	}
+	return db.bgErr
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// WaitIdle blocks until no flush is pending and no level is over threshold.
+func (db *DB) WaitIdle() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for {
+		if db.bgErr != nil {
+			return db.bgErr
+		}
+		if db.closed {
+			return ErrClosed
+		}
+		if db.imm == nil && !db.working && db.pickCompaction(db.vs.Current()) == nil {
+			return nil
+		}
+		db.nudge()
+		db.cond.Wait()
+	}
+}
+
+// backgroundLoop runs flushes and compactions until Close.
+func (db *DB) backgroundLoop() {
+	defer close(db.bgDone)
+	for {
+		select {
+		case <-db.bgQuit:
+			return
+		case <-db.bgWork:
+		}
+		for {
+			select {
+			case <-db.bgQuit:
+				return
+			default:
+			}
+			did, err := db.backgroundStep()
+			if err != nil {
+				db.mu.Lock()
+				db.bgErr = err
+				db.cond.Broadcast()
+				db.mu.Unlock()
+				return
+			}
+			if !did {
+				break
+			}
+		}
+	}
+}
+
+// backgroundStep performs one unit of background work. It returns whether
+// anything was done.
+func (db *DB) backgroundStep() (bool, error) {
+	db.mu.Lock()
+	if db.closed || db.working {
+		db.mu.Unlock()
+		return false, nil
+	}
+	if db.imm != nil {
+		imm, walNum := db.imm, db.immWalNum
+		db.working = true
+		db.mu.Unlock()
+		err := db.flushMemtable(imm, walNum)
+		db.mu.Lock()
+		db.working = false
+		if err == nil {
+			db.imm = nil
+		}
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return true, err
+	}
+	if db.opts.DisableAutoCompaction {
+		db.mu.Unlock()
+		return false, nil
+	}
+	pc := db.pickCompaction(db.vs.Current())
+	if pc == nil {
+		db.mu.Unlock()
+		return false, nil
+	}
+	db.working = true
+	db.mu.Unlock()
+	err := db.runCompaction(pc)
+	db.mu.Lock()
+	db.working = false
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	return true, err
+}
+
+// writeLevel0Table dumps a memtable into a new table file and returns its
+// metadata. (Unlike compaction outputs, a flush is always a single table,
+// like LevelDB.) With Options.PipelinedFlush it overlaps block building
+// with the writes.
+func (db *DB) writeLevel0Table(mem *memtable.Memtable) (*TableMeta, error) {
+	if db.opts.PipelinedFlush {
+		return db.writeLevel0TablePipelined(mem)
+	}
+	num := db.vs.NewFileNum()
+	name := TableFileName(num)
+	raw, err := db.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	// Buffer block writes so devices see large sequential requests, the
+	// way LevelDB's buffered table builder behaves.
+	f := storage.NewBufferedFile(raw, 0)
+	w := sstable.NewWriter(f, sstable.WriterOptions{
+		BlockSize:        db.opts.BlockSize,
+		RestartInterval:  db.opts.RestartInterval,
+		Codec:            db.opts.Codec,
+		Compare:          ikey.Compare,
+		FilterBitsPerKey: db.opts.BloomBitsPerKey,
+		FilterKey:        ikey.UserKey,
+	})
+	it := mem.NewIter()
+	for ok := it.First(); ok; ok = it.Next() {
+		if err := w.Add(it.Key(), it.Value()); err != nil {
+			f.Close()
+			db.fs.Remove(name)
+			return nil, err
+		}
+	}
+	tm, err := w.Finish()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		db.fs.Remove(name)
+		return nil, err
+	}
+	return &TableMeta{Num: num, Size: tm.FileSize, Entries: tm.Entries,
+		Smallest: tm.Smallest, Largest: tm.Largest}, nil
+}
+
+// flushMemtable writes imm to L0 and installs it.
+func (db *DB) flushMemtable(imm *memtable.Memtable, oldWAL uint64) error {
+	if imm.Count() == 0 {
+		db.fs.Remove(walFileName(oldWAL))
+		return nil
+	}
+	start := time.Now()
+	meta, err := db.writeLevel0Table(imm)
+	if err != nil {
+		return err
+	}
+	edit := NewVersionEdit()
+	edit.AddTable(0, meta)
+	v := db.vs.Apply(edit)
+	// Checkpoint the sequence number: this flush deletes its WAL, and the
+	// live WAL may stay empty until the next write, so without the
+	// checkpoint a reopen would resurrect a lower sequence counter — new
+	// writes would then be shadowed by the (higher-sequenced) flushed data.
+	db.mu.Lock()
+	seqNow := db.seq
+	db.mu.Unlock()
+	if err := db.man.append(&manifestRecord{
+		Added:    map[int][]manifestTable{0: toManifestTables([]*TableMeta{meta})},
+		Seq:      seqNow,
+		NextFile: db.vs.NewFileNum(),
+	}); err != nil {
+		return err
+	}
+	db.fs.Remove(walFileName(oldWAL))
+	db.stats.update(func(s *Stats) {
+		s.Flushes++
+		s.FlushBytes += meta.Size
+		s.FlushWall += time.Since(start)
+	})
+	db.opts.logf("lsm: flushed memtable to %s (%d bytes, L0 now %d tables)",
+		meta.FileName(), meta.Size, len(v.Levels[0]))
+	// More work may now be due.
+	db.nudge()
+	return nil
+}
+
+// pickedCompaction describes the inputs chosen for one compaction.
+type pickedCompaction struct {
+	level   int // source level; outputs land on level+1
+	inputs  []*TableMeta
+	overlap []*TableMeta
+}
+
+// pickCompaction selects the highest-scoring level over threshold, or nil.
+// Called with db.mu held (reads compactPtr).
+func (db *DB) pickCompaction(v *Version) *pickedCompaction {
+	bestLevel, bestScore := -1, 0.0
+	if n := len(v.Levels[0]); n >= db.opts.L0CompactionTrigger {
+		bestLevel = 0
+		bestScore = float64(n) / float64(db.opts.L0CompactionTrigger)
+	}
+	for level := 1; level < NumLevels-1; level++ {
+		score := float64(v.LevelSize(level)) / float64(db.opts.maxLevelSize(level))
+		if score > bestScore && score >= 1.0 {
+			bestLevel, bestScore = level, score
+		}
+	}
+	if bestLevel < 0 {
+		return nil
+	}
+
+	pc := &pickedCompaction{level: bestLevel}
+	if bestLevel == 0 {
+		pc.inputs = append(pc.inputs, v.Levels[0]...)
+	} else {
+		tables := v.Levels[bestLevel]
+		// Round-robin: first table starting after the last compacted key.
+		ptr := db.compactPtr[bestLevel]
+		idx := 0
+		if ptr != nil {
+			idx = sort.Search(len(tables), func(i int) bool {
+				return ikey.Compare(tables[i].Smallest, ptr) > 0
+			})
+			if idx == len(tables) {
+				idx = 0
+			}
+		}
+		pc.inputs = append(pc.inputs, tables[idx])
+	}
+	smallest, largest := keyRange(pc.inputs)
+	pc.overlap = v.overlapping(bestLevel+1, smallest, largest)
+	return pc
+}
+
+// keyRange returns the union range of tables.
+func keyRange(tables []*TableMeta) (smallest, largest []byte) {
+	for _, t := range tables {
+		if smallest == nil || ikey.Compare(t.Smallest, smallest) < 0 {
+			smallest = t.Smallest
+		}
+		if largest == nil || ikey.Compare(t.Largest, largest) > 0 {
+			largest = t.Largest
+		}
+	}
+	return smallest, largest
+}
+
+// runCompaction executes a picked compaction with the configured procedure
+// and installs the result.
+func (db *DB) runCompaction(pc *pickedCompaction) error {
+	all := append(append([]*TableMeta(nil), pc.inputs...), pc.overlap...)
+	sources := make([]*core.TableSource, 0, len(all))
+	for _, t := range all {
+		r, err := db.cache.Get(t.Num)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, core.NewTableSource(r))
+	}
+
+	cfg := db.opts.Compaction
+	db.mu.Lock()
+	cfg.RetainSeq = db.smallestSnapshot()
+	db.mu.Unlock()
+	// Tombstones may be dropped only if no deeper level holds the key range.
+	smallest, largest := keyRange(all)
+	cfg.DropTombstones = true
+	v := db.vs.Current()
+	for level := pc.level + 2; level < NumLevels; level++ {
+		if len(v.overlapping(level, smallest, largest)) > 0 {
+			cfg.DropTombstones = false
+			break
+		}
+	}
+
+	sink := func() (string, storage.File, error) {
+		num := db.vs.NewFileNum()
+		name := TableFileName(num)
+		f, err := db.fs.Create(name)
+		return name, f, err
+	}
+	res, err := core.Run(cfg, sources, sink)
+	if err != nil {
+		return fmt.Errorf("lsm: compaction L%d→L%d: %w", pc.level, pc.level+1, err)
+	}
+
+	edit := NewVersionEdit()
+	outMetas := make([]*TableMeta, 0, len(res.Outputs))
+	for _, o := range res.Outputs {
+		num, perr := parseTableNum(o.Name)
+		if perr != nil {
+			return perr
+		}
+		meta := &TableMeta{Num: num, Size: o.Meta.FileSize, Entries: o.Meta.Entries,
+			Smallest: o.Meta.Smallest, Largest: o.Meta.Largest}
+		outMetas = append(outMetas, meta)
+		edit.AddTable(pc.level+1, meta)
+	}
+	for _, t := range pc.inputs {
+		edit.DeleteTable(pc.level, t.Num)
+	}
+	for _, t := range pc.overlap {
+		edit.DeleteTable(pc.level+1, t.Num)
+	}
+
+	db.mu.Lock()
+	nv := db.vs.Apply(edit)
+	if pc.level > 0 && len(pc.inputs) > 0 {
+		db.compactPtr[pc.level] = append([]byte(nil),
+			pc.inputs[len(pc.inputs)-1].Largest...)
+	}
+	db.mu.Unlock()
+	if err := nv.checkInvariants(); err != nil {
+		return err
+	}
+
+	rec := &manifestRecord{
+		Added:   map[int][]manifestTable{pc.level + 1: toManifestTables(outMetas)},
+		Deleted: map[int][]uint64{},
+	}
+	for _, t := range pc.inputs {
+		rec.Deleted[pc.level] = append(rec.Deleted[pc.level], t.Num)
+	}
+	for _, t := range pc.overlap {
+		rec.Deleted[pc.level+1] = append(rec.Deleted[pc.level+1], t.Num)
+	}
+	if err := db.man.append(rec); err != nil {
+		return err
+	}
+
+	for _, t := range all {
+		db.cache.Evict(t.Num)
+		db.fs.Remove(t.FileName())
+	}
+	db.stats.addCompaction(res.Stats)
+	db.opts.logf("lsm: compacted L%d→L%d: %v", pc.level, pc.level+1, res.Stats)
+	db.nudge()
+	return nil
+}
+
+// CompactLevel synchronously compacts one unit of work from the given level
+// into the next, regardless of thresholds. It is the hook experiments use
+// to measure isolated compactions.
+func (db *DB) CompactLevel(level int) error {
+	if level < 0 || level >= NumLevels-1 {
+		return fmt.Errorf("lsm: cannot compact level %d", level)
+	}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	for db.working {
+		db.nudge()
+		db.cond.Wait()
+	}
+	v := db.vs.Current()
+	if len(v.Levels[level]) == 0 {
+		db.mu.Unlock()
+		return nil
+	}
+	pc := &pickedCompaction{level: level}
+	if level == 0 {
+		pc.inputs = append(pc.inputs, v.Levels[0]...)
+	} else {
+		pc.inputs = append(pc.inputs, v.Levels[level][0])
+	}
+	smallest, largest := keyRange(pc.inputs)
+	pc.overlap = v.overlapping(level+1, smallest, largest)
+	db.working = true
+	db.mu.Unlock()
+
+	err := db.runCompaction(pc)
+	db.mu.Lock()
+	db.working = false
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	return err
+}
+
+// CompactRange synchronously compacts every table whose user-key range
+// intersects [begin, end] down through the levels, level by level. Nil
+// bounds are open: CompactRange(nil, nil) rewrites the whole tree, which
+// drops all shadowed versions and (at the bottom) tombstones — the manual
+// "major compaction" of LevelDB.
+func (db *DB) CompactRange(begin, end []byte) error {
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	var smallest, largest []byte
+	if begin != nil {
+		smallest = ikey.Make(begin, ikey.MaxSeq, ikey.KindSet)
+	}
+	if end != nil {
+		largest = ikey.Make(end, 0, 0)
+	}
+	for level := 0; level < NumLevels-1; level++ {
+		for {
+			db.mu.Lock()
+			if db.closed {
+				db.mu.Unlock()
+				return ErrClosed
+			}
+			for db.working {
+				db.nudge()
+				db.cond.Wait()
+			}
+			v := db.vs.Current()
+			inputs := v.overlapping(level, smallest, largest)
+			if len(inputs) == 0 {
+				db.mu.Unlock()
+				break
+			}
+			pc := &pickedCompaction{level: level, inputs: inputs}
+			lo, hi := keyRange(pc.inputs)
+			pc.overlap = v.overlapping(level+1, lo, hi)
+			db.working = true
+			db.mu.Unlock()
+
+			err := db.runCompaction(pc)
+			db.mu.Lock()
+			db.working = false
+			db.cond.Broadcast()
+			db.mu.Unlock()
+			if err != nil {
+				return err
+			}
+			// One pass per level suffices: the inputs moved down.
+			break
+		}
+	}
+	return nil
+}
+
+// parseTableNum extracts the file number from a table file name.
+func parseTableNum(name string) (uint64, error) {
+	base := strings.TrimSuffix(name, ".sst")
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("lsm: bad table name %q", name)
+	}
+	return n, nil
+}
+
+// removeObsoleteFiles deletes table and log files not referenced by the
+// current version or the live WAL (crash leftovers).
+func (db *DB) removeObsoleteFiles() {
+	names, err := db.fs.List()
+	if err != nil {
+		return
+	}
+	live := map[string]bool{manifestName: true, walFileName(db.walNum): true}
+	v := db.vs.Current()
+	for l := range v.Levels {
+		for _, t := range v.Levels[l] {
+			live[t.FileName()] = true
+		}
+	}
+	for _, name := range names {
+		if live[name] {
+			continue
+		}
+		if strings.HasSuffix(name, ".sst") || strings.HasSuffix(name, ".log") {
+			db.fs.Remove(name)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pcplsm/internal/storage"
+)
+
+// TestFlushFailureSurfacesToWriters: a failing table write during flush
+// becomes a background error that write paths report instead of hanging.
+func TestFlushFailureSurfacesToWriters(t *testing.T) {
+	inner := storage.NewMemFS()
+	fault := storage.NewFaultFS(inner)
+	opts := smallOpts(fault)
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	// Let a little data in, then make every subsequent file write fail.
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("fk%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fault.Arm(storage.FaultWrite, 1, true)
+
+	// Writing until rotation forces a flush, which must fail and surface.
+	var sawErr error
+	for i := 0; i < 200_000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("fill%08d", i)), make([]byte, 100)); err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if sawErr == nil {
+		t.Fatal("background flush failure never surfaced to writers")
+	}
+	if !errors.Is(sawErr, storage.ErrInjected) {
+		t.Fatalf("surfaced error %v does not wrap the injected fault", sawErr)
+	}
+}
+
+// TestCompactionFailureIsReported: an injected failure inside compaction
+// output writing propagates through CompactLevel.
+func TestCompactionFailureIsReported(t *testing.T) {
+	inner := storage.NewMemFS()
+	fault := storage.NewFaultFS(inner)
+	opts := smallOpts(fault)
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("ck%05d", i)), make([]byte, 64))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the first create after this point: the compaction's output.
+	fault.Arm(storage.FaultCreate, 1, true)
+	if err := db.CompactLevel(0); err == nil {
+		t.Fatal("compaction with failing output creation reported success")
+	}
+	fault.Disarm(storage.FaultCreate)
+
+	// The tree must still be readable and retryable after the failure.
+	if _, err := db.Get([]byte("ck00042")); err != nil {
+		t.Fatalf("read after failed compaction: %v", err)
+	}
+	if err := db.CompactLevel(0); err != nil {
+		t.Fatalf("retry compaction failed: %v", err)
+	}
+	if _, err := db.Get([]byte("ck00042")); err != nil {
+		t.Fatalf("read after retried compaction: %v", err)
+	}
+}
+
+// TestOpenFailsCleanlyOnManifestFault: Open propagates manifest write
+// failures instead of opening a half-initialized store.
+func TestOpenFailsCleanlyOnManifestFault(t *testing.T) {
+	inner := storage.NewMemFS()
+	fault := storage.NewFaultFS(inner)
+	fault.Arm(storage.FaultSync, 1, true) // manifest append syncs
+	opts := smallOpts(fault)
+	if _, err := Open(opts); err == nil {
+		t.Fatal("Open with failing manifest sync should fail")
+	}
+}

@@ -1,0 +1,78 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pcplsm/internal/storage"
+)
+
+// TestBloomFiltersSkipTables: misses against flushed and compacted tables
+// are mostly answered by filters, without changing any result.
+func TestBloomFiltersSkipTables(t *testing.T) {
+	opts := smallOpts(storage.NewMemFS())
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	ref := loadKeys(t, db, 3000, 55, 80)
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// All present keys still found (no false negatives end to end).
+	verifyAll(t, db, ref)
+
+	before := db.Stats().FilterSkips
+	const misses = 2000
+	for i := 0; i < misses; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("user%08dx", i))); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("missing key returned %v", err)
+		}
+	}
+	skips := db.Stats().FilterSkips - before
+	if skips == 0 {
+		t.Fatal("no filter skips recorded for in-range misses against table data")
+	}
+	t.Logf("filters answered %d probes across %d misses", skips, misses)
+}
+
+// TestBloomDisabled: negative BloomBitsPerKey writes no filters and
+// records no skips.
+func TestBloomDisabled(t *testing.T) {
+	opts := smallOpts(storage.NewMemFS())
+	opts.BloomBitsPerKey = -1
+	db := mustOpen(t, opts)
+	defer db.Close()
+	ref := loadKeys(t, db, 1500, 56, 80)
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, db, ref)
+	for i := 0; i < 500; i++ {
+		db.Get([]byte(fmt.Sprintf("user%08dx", i)))
+	}
+	if got := db.Stats().FilterSkips; got != 0 {
+		t.Fatalf("FilterSkips = %d with filters disabled", got)
+	}
+}
+
+// TestBloomAcrossReopen: filters work on tables opened after recovery.
+func TestBloomAcrossReopen(t *testing.T) {
+	fs := storage.NewMemFS()
+	opts := smallOpts(fs)
+	db := mustOpen(t, opts)
+	ref := loadKeys(t, db, 2000, 57, 80)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpen(t, opts)
+	defer db2.Close()
+	verifyAll(t, db2, ref)
+	for i := 0; i < 1000; i++ {
+		db2.Get([]byte(fmt.Sprintf("user%08dx", i)))
+	}
+	if db2.Stats().FilterSkips == 0 {
+		t.Fatal("filters inactive after reopen")
+	}
+}

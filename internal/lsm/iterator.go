@@ -1,0 +1,208 @@
+package lsm
+
+import (
+	"pcplsm/internal/ikey"
+	"pcplsm/internal/sstable"
+)
+
+// internalIterator is the movement contract shared by memtable and table
+// iterators over internal keys.
+type internalIterator interface {
+	First() bool
+	Next() bool
+	Seek(internalKey []byte) bool
+	Valid() bool
+	Key() []byte
+	Value() []byte
+	Err() error
+}
+
+// memIterAdapter adds the (always-nil) Err method to a memtable iterator.
+type memIterAdapter struct {
+	it interface {
+		First() bool
+		Next() bool
+		Seek([]byte) bool
+		Valid() bool
+		Key() []byte
+		Value() []byte
+	}
+}
+
+func (a memIterAdapter) First() bool        { return a.it.First() }
+func (a memIterAdapter) Next() bool         { return a.it.Next() }
+func (a memIterAdapter) Seek(k []byte) bool { return a.it.Seek(k) }
+func (a memIterAdapter) Valid() bool        { return a.it.Valid() }
+func (a memIterAdapter) Key() []byte        { return a.it.Key() }
+func (a memIterAdapter) Value() []byte      { return a.it.Value() }
+func (a memIterAdapter) Err() error         { return nil }
+
+// Iterator is a forward scan over the user-visible key space at a fixed
+// snapshot: one (newest) version per user key, tombstones elided.
+type Iterator struct {
+	sources []internalIterator
+	readers []*sstable.Reader // owned table readers, closed on Close
+	snap    uint64
+
+	key, val []byte
+	valid    bool
+	err      error
+}
+
+// NewIterator returns a scan over the DB at the current sequence number.
+// The iterator sees a consistent snapshot regardless of concurrent writes
+// and compactions. Close must be called to release table handles.
+func (db *DB) NewIterator() (*Iterator, error) { return db.newIteratorAt(0) }
+
+// newIteratorAt builds a scan at sequence seq (0 = latest).
+func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mem, imm, v, snap := db.mem, db.imm, db.vs.Current(), db.seq
+	if seq != 0 {
+		snap = seq
+	}
+	db.mu.Unlock()
+
+	it := &Iterator{snap: snap}
+	it.sources = append(it.sources, memIterAdapter{it: mem.NewIter()})
+	if imm != nil {
+		it.sources = append(it.sources, memIterAdapter{it: imm.NewIter()})
+	}
+	// The iterator opens private readers so that compactions deleting input
+	// tables cannot invalidate it mid-scan (open handles outlive removal on
+	// every FS implementation).
+	for level := 0; level < NumLevels; level++ {
+		for _, t := range v.Levels[level] {
+			f, err := db.fs.Open(t.FileName())
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			r, err := sstable.NewReader(f, ikey.Compare)
+			if err != nil {
+				f.Close()
+				it.Close()
+				return nil, err
+			}
+			it.readers = append(it.readers, r)
+			it.sources = append(it.sources, r.NewIter())
+		}
+	}
+	return it, nil
+}
+
+// Close releases the iterator's table handles.
+func (it *Iterator) Close() error {
+	var first error
+	for _, r := range it.readers {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	it.readers = nil
+	it.sources = nil
+	it.valid = false
+	return first
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Err returns the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// Key returns the current user key (owned by the iterator).
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value (owned by the iterator).
+func (it *Iterator) Value() []byte { return it.val }
+
+// First positions at the smallest user key.
+func (it *Iterator) First() bool {
+	for _, s := range it.sources {
+		s.First()
+		if err := s.Err(); err != nil {
+			it.err = err
+			it.valid = false
+			return false
+		}
+	}
+	return it.findNext(nil)
+}
+
+// Seek positions at the first user key >= target.
+func (it *Iterator) Seek(target []byte) bool {
+	sk := ikey.SearchKey(target, it.snap)
+	for _, s := range it.sources {
+		s.Seek(sk)
+		if err := s.Err(); err != nil {
+			it.err = err
+			it.valid = false
+			return false
+		}
+	}
+	return it.findNext(nil)
+}
+
+// Next advances to the next user key.
+func (it *Iterator) Next() bool {
+	if !it.valid {
+		return false
+	}
+	skip := append([]byte(nil), it.key...)
+	return it.findNext(skip)
+}
+
+// minSource returns the index of the source with the smallest current
+// internal key, or -1 when all are exhausted.
+func (it *Iterator) minSource() int {
+	best := -1
+	for i, s := range it.sources {
+		if !s.Valid() {
+			continue
+		}
+		if best < 0 || ikey.Compare(s.Key(), it.sources[best].Key()) < 0 {
+			best = i
+		}
+	}
+	return best
+}
+
+// findNext advances to the newest visible version of the next user key,
+// skipping the key skipUser (the one just emitted), versions newer than the
+// snapshot, shadowed versions, and tombstones.
+func (it *Iterator) findNext(skipUser []byte) bool {
+	for {
+		i := it.minSource()
+		if i < 0 {
+			it.valid = false
+			return false
+		}
+		s := it.sources[i]
+		k := s.Key()
+		user := ikey.UserKey(k)
+		switch {
+		case ikey.Seq(k) > it.snap,
+			skipUser != nil && string(user) == string(skipUser):
+			s.Next()
+		case ikey.KindOf(k) == ikey.KindDelete:
+			// Tombstone: skip every remaining version of this user key.
+			skipUser = append(skipUser[:0], user...)
+			s.Next()
+		default:
+			it.key = append(it.key[:0], user...)
+			it.val = append(it.val[:0], s.Value()...)
+			it.valid = true
+			return true
+		}
+		if err := s.Err(); err != nil {
+			it.err = err
+			it.valid = false
+			return false
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package lsm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"pcplsm/internal/storage"
+)
+
+// The manifest is an append-only journal of version edits plus WAL/sequence
+// checkpoints, one JSON object per line. Replaying it reconstructs the
+// table layout after a restart. JSON keeps the format debuggable; manifest
+// volume is tiny next to table data, so encoding efficiency is irrelevant.
+
+const manifestName = "MANIFEST"
+
+// manifestRecord is one journal line.
+type manifestRecord struct {
+	// Added and Deleted mirror VersionEdit.
+	Added   map[int][]manifestTable `json:"added,omitempty"`
+	Deleted map[int][]uint64        `json:"deleted,omitempty"`
+	// WALNum points at the live WAL file after this edit.
+	WALNum uint64 `json:"wal,omitempty"`
+	// Seq checkpoints the sequence number (recovery resumes above it).
+	Seq uint64 `json:"seq,omitempty"`
+	// NextFile checkpoints the file-number allocator.
+	NextFile uint64 `json:"next_file,omitempty"`
+}
+
+// manifestTable is the JSON form of TableMeta.
+type manifestTable struct {
+	Num      uint64 `json:"num"`
+	Size     int64  `json:"size"`
+	Entries  int64  `json:"entries"`
+	Smallest []byte `json:"smallest"`
+	Largest  []byte `json:"largest"`
+}
+
+// manifest appends records durably.
+type manifest struct {
+	mu sync.Mutex
+	f  storage.File
+}
+
+// openManifest opens or creates the manifest file.
+func openManifest(fs storage.FS) (*manifest, error) {
+	var f storage.File
+	var err error
+	if storage.Exists(fs, manifestName) {
+		f, err = fs.Open(manifestName)
+	} else {
+		f, err = fs.Create(manifestName)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &manifest{f: f}, nil
+}
+
+// append writes one record and syncs.
+func (m *manifest) append(rec *manifestRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("lsm: encoding manifest record: %w", err)
+	}
+	data = append(data, '\n')
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.f.Write(data); err != nil {
+		return err
+	}
+	return m.f.Sync()
+}
+
+func (m *manifest) close() error { return m.f.Close() }
+
+// replayManifest reads every record, returning the reconstructed state. A
+// truncated final line (torn write) is tolerated: replay stops there.
+func replayManifest(fs storage.FS) (edits []*manifestRecord, err error) {
+	data, err := storage.ReadAll(fs, manifestName)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec manifestRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail ends replay; everything before it is intact
+			// because records are appended with sync.
+			break
+		}
+		cp := rec
+		edits = append(edits, &cp)
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return edits, nil
+}
+
+// toManifestTables converts metas for journaling.
+func toManifestTables(ts []*TableMeta) []manifestTable {
+	out := make([]manifestTable, len(ts))
+	for i, t := range ts {
+		out[i] = manifestTable{Num: t.Num, Size: t.Size, Entries: t.Entries,
+			Smallest: t.Smallest, Largest: t.Largest}
+	}
+	return out
+}
+
+// fromManifestTable converts back to a TableMeta.
+func fromManifestTable(t manifestTable) *TableMeta {
+	return &TableMeta{Num: t.Num, Size: t.Size, Entries: t.Entries,
+		Smallest: t.Smallest, Largest: t.Largest}
+}

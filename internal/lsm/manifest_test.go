@@ -1,0 +1,108 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"pcplsm/internal/storage"
+)
+
+// TestManifestRoundTrip: records replay exactly.
+func TestManifestRoundTrip(t *testing.T) {
+	fs := storage.NewMemFS()
+	m, err := openManifest(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*manifestRecord{
+		{WALNum: 3, Seq: 100, NextFile: 4},
+		{Added: map[int][]manifestTable{0: {{Num: 5, Size: 1234, Entries: 10,
+			Smallest: []byte("aaa\x01\x00\x00\x00\x00\x00\x00\x00"),
+			Largest:  []byte("zzz\x01\x00\x00\x00\x00\x00\x00\x00")}}}},
+		{Deleted: map[int][]uint64{0: {5}}, Added: map[int][]manifestTable{1: {{Num: 6, Size: 99}}}},
+	}
+	for _, r := range recs {
+		if err := m.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.close()
+
+	got, err := replayManifest(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	if got[0].WALNum != 3 || got[0].Seq != 100 || got[0].NextFile != 4 {
+		t.Fatalf("record 0 = %+v", got[0])
+	}
+	tb := got[1].Added[0][0]
+	if tb.Num != 5 || tb.Size != 1234 || tb.Entries != 10 || string(tb.Smallest[:3]) != "aaa" {
+		t.Fatalf("record 1 table = %+v", tb)
+	}
+	if got[2].Deleted[0][0] != 5 || got[2].Added[1][0].Num != 6 {
+		t.Fatalf("record 2 = %+v", got[2])
+	}
+}
+
+// TestManifestTornTailTolerated: a truncated final line stops replay at the
+// last intact record instead of failing the open.
+func TestManifestTornTailTolerated(t *testing.T) {
+	fs := storage.NewMemFS()
+	m, _ := openManifest(fs)
+	for i := 0; i < 5; i++ {
+		if err := m.append(&manifestRecord{Seq: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.close()
+	data, _ := storage.ReadAll(fs, manifestName)
+	fs.Remove(manifestName)
+	if err := storage.WriteFile(fs, manifestName, data[:len(data)-4]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replayManifest(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("replayed %d records from torn manifest, want 4", len(got))
+	}
+}
+
+// TestManifestBlankLinesSkipped: whitespace-only lines do not break replay.
+func TestManifestBlankLinesSkipped(t *testing.T) {
+	fs := storage.NewMemFS()
+	m, _ := openManifest(fs)
+	m.append(&manifestRecord{Seq: 7})
+	f, _ := fs.Open(manifestName)
+	f.Write([]byte("\n  \n"))
+	f.Close()
+	m.append(&manifestRecord{Seq: 8})
+	m.close()
+	got, err := replayManifest(fs)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("replay = %d records, %v", len(got), err)
+	}
+	if got[1].Seq != 8 {
+		t.Fatalf("second record seq = %d", got[1].Seq)
+	}
+}
+
+// TestManifestTableConversions covers the meta<->json mapping.
+func TestManifestTableConversions(t *testing.T) {
+	orig := &TableMeta{Num: 42, Size: 1000, Entries: 7,
+		Smallest: []byte("s\x01\x00\x00\x00\x00\x00\x00\x00"),
+		Largest:  []byte("t\x01\x00\x00\x00\x00\x00\x00\x00")}
+	enc := toManifestTables([]*TableMeta{orig})
+	back := fromManifestTable(enc[0])
+	if back.Num != orig.Num || back.Size != orig.Size || back.Entries != orig.Entries ||
+		string(back.Smallest) != string(orig.Smallest) || string(back.Largest) != string(orig.Largest) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if back.FileName() != fmt.Sprintf("%06d.sst", 42) {
+		t.Fatalf("FileName = %s", back.FileName())
+	}
+}

@@ -1,0 +1,132 @@
+package lsm
+
+import (
+	"pcplsm/internal/compress"
+	"pcplsm/internal/core"
+	"pcplsm/internal/storage"
+)
+
+// Options configure a DB. The zero value plus an FS is usable; defaults
+// mirror the paper's experimental setup (4 MiB memtable, 2 MiB SSTables,
+// 4 KiB blocks, snappy).
+type Options struct {
+	// FS is the backing file system (required): a MemFS, OSFS or SimFS.
+	FS storage.FS
+
+	// MemtableSize triggers a flush when C0 exceeds it (default 4 MiB).
+	MemtableSize int64
+	// TableSize caps SSTable file size (default 2 MiB).
+	TableSize int64
+	// BlockSize is the data block size (default 4 KiB).
+	BlockSize int
+	// RestartInterval for data blocks.
+	RestartInterval int
+	// Codec compresses data blocks (default Snappy).
+	Codec compress.Codec
+
+	// Compaction configures the procedure (mode, sub-task size, queue depth,
+	// compute/IO parallelism). Block/table/codec fields inside it are
+	// overridden by the DB-level settings above.
+	Compaction core.Config
+
+	// L0CompactionTrigger is the L0 table count that schedules a compaction
+	// (default 4).
+	L0CompactionTrigger int
+	// L0StallTrigger is the L0 table count at which writers stall until the
+	// backlog drains (default 12) — the paper's "write pauses".
+	L0StallTrigger int
+	// BaseLevelSize is the size threshold of level 1 (default 8 MiB);
+	// deeper levels grow by LevelMultiplier.
+	BaseLevelSize int64
+	// LevelMultiplier is the per-level growth factor (default 10).
+	LevelMultiplier int
+
+	// BloomBitsPerKey sizes the per-table Bloom filters that point reads
+	// use to skip tables. 0 selects the default of 10 bits/key; a negative
+	// value disables filters.
+	BloomBitsPerKey int
+	// BlockCacheBytes caps the decompressed-block cache serving point
+	// reads. 0 selects the default of 8 MiB; a negative value disables the
+	// cache. Compaction I/O always bypasses it.
+	BlockCacheBytes int64
+
+	// PipelinedFlush overlaps memtable-dump block building (CPU) with
+	// table writes (I/O), extending the paper's pipelining idea to the
+	// flush path (§IV-C lists flushes among the operations "not pipelined
+	// by now"). Off by default to keep the faithful LevelDB-style baseline.
+	PipelinedFlush bool
+
+	// SyncWAL forces an fsync per commit. Off by default (matching the
+	// paper's insert benchmarks, which are bounded by compaction, not
+	// commit latency).
+	SyncWAL bool
+
+	// DisableAutoCompaction stops the background scheduler; compactions
+	// then run only via CompactLevel/Flush calls. Used by experiments that
+	// need precise control.
+	DisableAutoCompaction bool
+
+	// Logf, when set, receives progress lines (flushes, compactions).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableSize <= 0 {
+		o.MemtableSize = 4 << 20
+	}
+	if o.TableSize <= 0 {
+		o.TableSize = 2 << 20
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4 << 10
+	}
+	if o.Codec == nil {
+		o.Codec = compress.MustByKind(compress.Snappy)
+	}
+	if o.L0CompactionTrigger <= 0 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.L0StallTrigger <= 0 {
+		o.L0StallTrigger = 12
+	}
+	if o.BaseLevelSize <= 0 {
+		o.BaseLevelSize = 8 << 20
+	}
+	if o.LevelMultiplier <= 0 {
+		o.LevelMultiplier = 10
+	}
+	switch {
+	case o.BloomBitsPerKey == 0:
+		o.BloomBitsPerKey = 10
+	case o.BloomBitsPerKey < 0:
+		o.BloomBitsPerKey = 0
+	}
+	switch {
+	case o.BlockCacheBytes == 0:
+		o.BlockCacheBytes = 8 << 20
+	case o.BlockCacheBytes < 0:
+		o.BlockCacheBytes = 0
+	}
+	// Push DB-level format settings into the compaction config.
+	o.Compaction.BlockSize = o.BlockSize
+	o.Compaction.RestartInterval = o.RestartInterval
+	o.Compaction.Codec = o.Codec
+	o.Compaction.TableSize = o.TableSize
+	o.Compaction.BloomBitsPerKey = o.BloomBitsPerKey
+	return o
+}
+
+// maxLevelSize returns the size threshold of a level (level >= 1).
+func (o *Options) maxLevelSize(level int) int64 {
+	s := o.BaseLevelSize
+	for l := 1; l < level; l++ {
+		s *= int64(o.LevelMultiplier)
+	}
+	return s
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}

@@ -1,0 +1,83 @@
+package lsm
+
+import (
+	"errors"
+
+	"pcplsm/internal/ikey"
+)
+
+// ErrSnapshotReleased is returned by reads on a released snapshot.
+var ErrSnapshotReleased = errors.New("lsm: snapshot already released")
+
+// Snapshot is a consistent read-only view of the store at the sequence
+// number it was taken. While a snapshot is live, compactions retain every
+// version it can read (the merge step's retention rule), so reads stay
+// stable no matter how much the tree churns. Release it when done —
+// long-lived snapshots pin old versions and grow the tree.
+type Snapshot struct {
+	db       *DB
+	seq      uint64
+	released bool
+}
+
+// GetSnapshot captures the store's current state.
+func (db *DB) GetSnapshot() (*Snapshot, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	seq := db.seq
+	db.snapshots[seq]++
+	return &Snapshot{db: db, seq: seq}, nil
+}
+
+// Release drops the snapshot's retention pin. Safe to call twice.
+func (s *Snapshot) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	db := s.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n := db.snapshots[s.seq]; n > 1 {
+		db.snapshots[s.seq] = n - 1
+	} else {
+		delete(db.snapshots, s.seq)
+	}
+}
+
+// Seq returns the snapshot's sequence number.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Get returns the value key had when the snapshot was taken.
+func (s *Snapshot) Get(key []byte) ([]byte, error) {
+	if s.released {
+		return nil, ErrSnapshotReleased
+	}
+	return s.db.getAt(key, s.seq)
+}
+
+// NewIterator scans the store as of the snapshot.
+func (s *Snapshot) NewIterator() (*Iterator, error) {
+	if s.released {
+		return nil, ErrSnapshotReleased
+	}
+	return s.db.newIteratorAt(s.seq)
+}
+
+// smallestSnapshot returns the sequence compactions must retain versions
+// for, or 0 when no snapshots are live. Called with db.mu held.
+func (db *DB) smallestSnapshot() uint64 {
+	if len(db.snapshots) == 0 {
+		return 0
+	}
+	min := ikey.MaxSeq
+	for seq := range db.snapshots {
+		if seq < min {
+			min = seq
+		}
+	}
+	return min
+}

@@ -1,0 +1,207 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pcplsm/internal/storage"
+)
+
+func TestSnapshotBasicIsolation(t *testing.T) {
+	db := mustOpen(t, smallOpts(storage.NewMemFS()))
+	defer db.Close()
+
+	db.Put([]byte("a"), []byte("v1"))
+	db.Put([]byte("b"), []byte("v1"))
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+
+	db.Put([]byte("a"), []byte("v2"))
+	db.Delete([]byte("b"))
+	db.Put([]byte("c"), []byte("v2"))
+
+	// Snapshot still sees the old world.
+	if v, err := snap.Get([]byte("a")); err != nil || string(v) != "v1" {
+		t.Fatalf("snap Get(a) = %q, %v", v, err)
+	}
+	if v, err := snap.Get([]byte("b")); err != nil || string(v) != "v1" {
+		t.Fatalf("snap Get(b) = %q, %v", v, err)
+	}
+	if _, err := snap.Get([]byte("c")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("snap Get(c) = %v, want not found", err)
+	}
+	// Live reads see the new world.
+	if v, _ := db.Get([]byte("a")); string(v) != "v2" {
+		t.Fatalf("live Get(a) = %q", v)
+	}
+	if _, err := db.Get([]byte("b")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("live Get(b) should be deleted")
+	}
+
+	it, err := snap.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for ok := it.First(); ok; ok = it.Next() {
+		got = append(got, fmt.Sprintf("%s=%s", it.Key(), it.Value()))
+	}
+	if len(got) != 2 || got[0] != "a=v1" || got[1] != "b=v1" {
+		t.Fatalf("snapshot scan = %v", got)
+	}
+}
+
+// TestSnapshotSurvivesFlushAndCompaction is the hard case: the snapshot's
+// versions must survive memtable flushes and full compactions (the merge
+// retention rule).
+func TestSnapshotSurvivesFlushAndCompaction(t *testing.T) {
+	opts := smallOpts(storage.NewMemFS())
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	const n = 800
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("sk%05d", i)), []byte("old"))
+	}
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+
+	// Overwrite everything, delete a stripe, then force the data through
+	// flushes and compactions.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			db.Put([]byte(fmt.Sprintf("sk%05d", i)), []byte(fmt.Sprintf("new%d", round)))
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		db.Delete([]byte(fmt.Sprintf("sk%05d", i)))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Compactions == 0 {
+		// Force at least one real compaction through every level with data.
+		for l := 0; l < NumLevels-1; l++ {
+			if len(db.Version().Levels[l]) > 0 {
+				if err := db.CompactLevel(l); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("sk%05d", i)
+		v, err := snap.Get([]byte(k))
+		if err != nil || string(v) != "old" {
+			t.Fatalf("snapshot lost %s after compaction: %q, %v", k, v, err)
+		}
+	}
+	// Live reads see the final state.
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("sk%05d", i)
+		v, err := db.Get([]byte(k))
+		if i%3 == 0 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("live %s should be deleted, got %q %v", k, v, err)
+			}
+		} else if err != nil || string(v) != "new2" {
+			t.Fatalf("live %s = %q, %v", k, v, err)
+		}
+	}
+}
+
+// TestReleasedSnapshotAllowsGC: after release, compactions may drop the old
+// versions again, and the snapshot refuses reads.
+func TestReleasedSnapshotAllowsGC(t *testing.T) {
+	opts := smallOpts(storage.NewMemFS())
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("gk%05d", i)), []byte("old"))
+	}
+	snap, _ := db.GetSnapshot()
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("gk%05d", i)), []byte("new"))
+	}
+	db.Flush()
+
+	snap.Release()
+	snap.Release() // double release is a no-op
+	if _, err := snap.Get([]byte("gk00000")); !errors.Is(err, ErrSnapshotReleased) {
+		t.Fatalf("released snapshot Get = %v", err)
+	}
+	if _, err := snap.NewIterator(); !errors.Is(err, ErrSnapshotReleased) {
+		t.Fatal("released snapshot iterator should fail")
+	}
+
+	// With the pin gone, a full compaction keeps only the newest versions:
+	// entry counts shrink back to one per key.
+	if err := db.CompactLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	var entries int64
+	v := db.Version()
+	for l := 0; l < NumLevels; l++ {
+		for _, tm := range v.Levels[l] {
+			entries += tm.Entries
+		}
+	}
+	if entries != 500 {
+		t.Fatalf("after release+compaction: %d entries on disk, want 500", entries)
+	}
+}
+
+// TestSnapshotRetentionKeepsVersionsOnDisk: with a live snapshot, a
+// compaction keeps both versions of each key.
+func TestSnapshotRetentionKeepsVersionsOnDisk(t *testing.T) {
+	opts := smallOpts(storage.NewMemFS())
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("rk%05d", i)), []byte("old"))
+	}
+	snap, _ := db.GetSnapshot()
+	defer snap.Release()
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("rk%05d", i)), []byte("new"))
+	}
+	db.Flush()
+	if err := db.CompactLevel(0); err != nil {
+		t.Fatal(err)
+	}
+
+	var entries int64
+	v := db.Version()
+	for l := 0; l < NumLevels; l++ {
+		for _, tm := range v.Levels[l] {
+			entries += tm.Entries
+		}
+	}
+	if entries != 1000 {
+		t.Fatalf("live snapshot: %d entries on disk, want 1000 (both versions)", entries)
+	}
+}
+
+func TestSnapshotOnClosedDB(t *testing.T) {
+	db := mustOpen(t, smallOpts(storage.NewMemFS()))
+	db.Close()
+	if _, err := db.GetSnapshot(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("GetSnapshot on closed DB = %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pcplsm/internal/core"
+)
+
+// Stats aggregates DB activity. All counters are cumulative since Open.
+type Stats struct {
+	// Puts/Deletes/Gets count user operations.
+	Puts    int64
+	Deletes int64
+	Gets    int64
+	// FilterSkips counts table probes that a Bloom filter answered without
+	// any block I/O.
+	FilterSkips int64
+	// BlockCacheHits/Misses count block-cache lookups on the read path.
+	BlockCacheHits   int64
+	BlockCacheMisses int64
+
+	// Flushes counts memtable→L0 dumps; FlushBytes their output volume.
+	Flushes    int64
+	FlushBytes int64
+	// FlushWall is the cumulative time spent flushing.
+	FlushWall time.Duration
+
+	// Compactions counts background merges.
+	Compactions int64
+	// CompactionInputBytes/OutputBytes total the data volumes.
+	CompactionInputBytes  int64
+	CompactionOutputBytes int64
+	// CompactionWall is the cumulative compaction time.
+	CompactionWall time.Duration
+	// CompactionSteps sums the per-step times across all compactions —
+	// the data behind the paper's breakdown figures.
+	CompactionSteps core.StepTimes
+
+	// StallCount/StallTime measure write pauses (full memtable backlog or
+	// too many L0 tables).
+	StallCount int64
+	StallTime  time.Duration
+
+	// LastCompaction holds the most recent compaction's full statistics.
+	LastCompaction core.Stats
+}
+
+// CompactionBandwidth returns bytes of compaction input processed per
+// second of compaction wall time — the paper's headline metric, aggregated.
+func (s Stats) CompactionBandwidth() float64 {
+	if s.CompactionWall <= 0 {
+		return 0
+	}
+	return float64(s.CompactionInputBytes) / s.CompactionWall.Seconds()
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("puts=%d gets=%d flushes=%d compactions=%d cbw=%.1fMiB/s stall=%v [%v]",
+		s.Puts, s.Gets, s.Flushes, s.Compactions,
+		s.CompactionBandwidth()/(1<<20), s.StallTime.Round(time.Millisecond),
+		s.CompactionSteps.Breakdown())
+}
+
+// statsCollector guards mutation of Stats.
+type statsCollector struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (c *statsCollector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}
+
+func (c *statsCollector) update(f func(*Stats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(&c.s)
+}
+
+// addCompaction folds one compaction's stats into the totals.
+func (c *statsCollector) addCompaction(cs core.Stats) {
+	c.update(func(s *Stats) {
+		s.Compactions++
+		s.CompactionInputBytes += cs.InputBytes
+		s.CompactionOutputBytes += cs.OutputBytes
+		s.CompactionWall += cs.Wall
+		for st := core.S1Read; st <= core.S7Write; st++ {
+			s.CompactionSteps[st] += cs.Steps.Get(st)
+		}
+		s.LastCompaction = cs
+	})
+}

@@ -1,0 +1,274 @@
+// Package lsm implements a LevelDB-style log-structured merge-tree store on
+// top of the substrates: memtable (C0), WAL, SSTables, and the pluggable
+// compaction engines from internal/core.
+//
+// Components C1…Ck are levels of SSTables. Level 0 tables may overlap each
+// other (each is one memtable flush); levels ≥ 1 hold tables with disjoint
+// internal key ranges. When a level exceeds its size threshold the
+// compaction picker selects a table from it plus every overlapping table
+// from the next level, and the configured procedure (SCP/PCP/PPCP) merges
+// them downward — the data flow of the paper's Figure 2.
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pcplsm/internal/cache"
+	"pcplsm/internal/ikey"
+	"pcplsm/internal/sstable"
+	"pcplsm/internal/storage"
+)
+
+// NumLevels is the number of disk components.
+const NumLevels = 7
+
+// TableMeta describes one live table in a version.
+type TableMeta struct {
+	Num      uint64 // file number; file name is Num.sst
+	Size     int64
+	Entries  int64
+	Smallest []byte // internal keys
+	Largest  []byte
+}
+
+// FileName returns the table's file name.
+func (t *TableMeta) FileName() string { return TableFileName(t.Num) }
+
+// TableFileName renders the on-disk name of table number num.
+func TableFileName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
+
+// userKeyCompare orders two internal keys by their user-key portion only.
+// Range-overlap decisions MUST use this, not ikey.Compare: two tables that
+// hold different versions of the same user key overlap logically even
+// though their internal-key ranges are disjoint, and excluding one from a
+// compaction would let dropped tombstones resurrect its older versions.
+func userKeyCompare(a, b []byte) int {
+	return bytes.Compare(ikey.UserKey(a), ikey.UserKey(b))
+}
+
+// overlaps reports whether the table's user-key range intersects that of
+// [smallest, largest] (bounds given as internal keys).
+func (t *TableMeta) overlaps(smallest, largest []byte) bool {
+	if smallest != nil && userKeyCompare(t.Largest, smallest) < 0 {
+		return false
+	}
+	if largest != nil && userKeyCompare(t.Smallest, largest) > 0 {
+		return false
+	}
+	return true
+}
+
+// Version is an immutable snapshot of the table layout across levels.
+type Version struct {
+	Levels [NumLevels][]*TableMeta
+}
+
+// clone copies the version's level slices (table pointers are shared;
+// TableMeta is immutable once installed).
+func (v *Version) clone() *Version {
+	nv := &Version{}
+	for l := range v.Levels {
+		nv.Levels[l] = append([]*TableMeta(nil), v.Levels[l]...)
+	}
+	return nv
+}
+
+// LevelSize returns the total byte size of a level.
+func (v *Version) LevelSize(level int) int64 {
+	var s int64
+	for _, t := range v.Levels[level] {
+		s += t.Size
+	}
+	return s
+}
+
+// NumTables returns the total table count.
+func (v *Version) NumTables() int {
+	n := 0
+	for l := range v.Levels {
+		n += len(v.Levels[l])
+	}
+	return n
+}
+
+// overlapping returns the tables of level whose ranges intersect
+// [smallest, largest].
+func (v *Version) overlapping(level int, smallest, largest []byte) []*TableMeta {
+	var out []*TableMeta
+	for _, t := range v.Levels[level] {
+		if t.overlaps(smallest, largest) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// VersionEdit describes an atomic change of the table layout.
+type VersionEdit struct {
+	Added   map[int][]*TableMeta // level -> new tables
+	Deleted map[int][]uint64     // level -> removed table numbers
+}
+
+// NewVersionEdit returns an empty edit.
+func NewVersionEdit() *VersionEdit {
+	return &VersionEdit{Added: map[int][]*TableMeta{}, Deleted: map[int][]uint64{}}
+}
+
+// AddTable records a table addition.
+func (e *VersionEdit) AddTable(level int, t *TableMeta) {
+	e.Added[level] = append(e.Added[level], t)
+}
+
+// DeleteTable records a table removal.
+func (e *VersionEdit) DeleteTable(level int, num uint64) {
+	e.Deleted[level] = append(e.Deleted[level], num)
+}
+
+// versionSet tracks the current version and applies edits.
+type versionSet struct {
+	mu      sync.Mutex
+	current *Version
+	nextNum uint64
+}
+
+func newVersionSet() *versionSet {
+	return &versionSet{current: &Version{}, nextNum: 1}
+}
+
+// Current returns the current immutable version.
+func (vs *versionSet) Current() *Version {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	return vs.current
+}
+
+// NewFileNum allocates a fresh table file number.
+func (vs *versionSet) NewFileNum() uint64 {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	n := vs.nextNum
+	vs.nextNum++
+	return n
+}
+
+// bumpFileNum ensures future allocations are > num (used during recovery).
+func (vs *versionSet) bumpFileNum(num uint64) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if num >= vs.nextNum {
+		vs.nextNum = num + 1
+	}
+}
+
+// Apply installs an edit, producing a new current version. Levels ≥ 1 are
+// kept sorted by smallest key; level 0 is kept in insertion (age) order,
+// oldest first.
+func (vs *versionSet) Apply(edit *VersionEdit) *Version {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	nv := vs.current.clone()
+	for level, nums := range edit.Deleted {
+		dead := map[uint64]bool{}
+		for _, n := range nums {
+			dead[n] = true
+		}
+		var keep []*TableMeta
+		for _, t := range nv.Levels[level] {
+			if !dead[t.Num] {
+				keep = append(keep, t)
+			}
+		}
+		nv.Levels[level] = keep
+	}
+	for level, tables := range edit.Added {
+		nv.Levels[level] = append(nv.Levels[level], tables...)
+		if level > 0 {
+			sort.Slice(nv.Levels[level], func(i, j int) bool {
+				return ikey.Compare(nv.Levels[level][i].Smallest, nv.Levels[level][j].Smallest) < 0
+			})
+		}
+	}
+	vs.current = nv
+	return nv
+}
+
+// checkInvariants verifies the level invariants of v (levels ≥ 1 sorted and
+// disjoint). It is used by tests and debug assertions.
+func (v *Version) checkInvariants() error {
+	for l := 1; l < NumLevels; l++ {
+		tables := v.Levels[l]
+		for i := 1; i < len(tables); i++ {
+			if ikey.Compare(tables[i-1].Largest, tables[i].Smallest) >= 0 {
+				return fmt.Errorf("lsm: level %d tables %d and %d overlap: %s vs %s",
+					l, tables[i-1].Num, tables[i].Num,
+					ikey.String(tables[i-1].Largest), ikey.String(tables[i].Smallest))
+			}
+		}
+	}
+	return nil
+}
+
+// tableCache opens table readers on demand and caches them. Tables are
+// immutable, so entries never invalidate — they are only dropped when the
+// table is deleted. An optional shared block cache is attached to every
+// reader it opens.
+type tableCache struct {
+	fs     storage.FS
+	blocks *cache.Cache // nil = no block cache
+	mu     sync.Mutex
+	m      map[uint64]*sstable.Reader
+}
+
+func newTableCache(fs storage.FS, blocks *cache.Cache) *tableCache {
+	return &tableCache{fs: fs, blocks: blocks, m: map[uint64]*sstable.Reader{}}
+}
+
+// Get returns a reader for table num, opening it if needed.
+func (c *tableCache) Get(num uint64) (*sstable.Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.m[num]; ok {
+		return r, nil
+	}
+	f, err := c.fs.Open(TableFileName(num))
+	if err != nil {
+		return nil, err
+	}
+	r, err := sstable.NewReader(f, ikey.Compare)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if c.blocks != nil {
+		r.SetBlockCache(c.blocks, num)
+	}
+	c.m[num] = r
+	return r, nil
+}
+
+// Evict closes and forgets the reader for a deleted table, dropping its
+// cached blocks.
+func (c *tableCache) Evict(num uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.m[num]; ok {
+		r.Close()
+		delete(c.m, num)
+	}
+	if c.blocks != nil {
+		c.blocks.EvictID(num)
+	}
+}
+
+// Close releases all cached readers.
+func (c *tableCache) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for num, r := range c.m {
+		r.Close()
+		delete(c.m, num)
+	}
+}

@@ -1,0 +1,53 @@
+package memtable
+
+import (
+	"pcplsm/internal/ikey"
+)
+
+// Memtable is the mutable in-memory component of the LSM-tree. It wraps the
+// skiplist with the user-key API the DB needs: versioned puts/deletes and
+// snapshot reads.
+type Memtable struct {
+	list *Skiplist
+}
+
+// New returns an empty memtable.
+func New() *Memtable { return &Memtable{list: NewSkiplist(0xC0FFEE)} }
+
+// Put records a Set of ukey to value at sequence seq.
+func (m *Memtable) Put(seq uint64, ukey, value []byte) {
+	m.list.Insert(ikey.Make(ukey, seq, ikey.KindSet), append([]byte(nil), value...))
+}
+
+// Delete records a tombstone for ukey at sequence seq.
+func (m *Memtable) Delete(seq uint64, ukey []byte) {
+	m.list.Insert(ikey.Make(ukey, seq, ikey.KindDelete), nil)
+}
+
+// Get returns the newest version of ukey visible at snapshot seq.
+// ok reports whether any version exists; deleted reports whether that
+// version is a tombstone (in which case value is nil).
+func (m *Memtable) Get(ukey []byte, seq uint64) (value []byte, deleted, ok bool) {
+	it := m.list.NewIter()
+	if !it.Seek(ikey.SearchKey(ukey, seq)) {
+		return nil, false, false
+	}
+	k := it.Key()
+	if string(ikey.UserKey(k)) != string(ukey) {
+		return nil, false, false
+	}
+	if ikey.KindOf(k) == ikey.KindDelete {
+		return nil, true, true
+	}
+	return it.Value(), false, true
+}
+
+// ApproximateSize returns the approximate memory footprint in bytes; the DB
+// compares it against Options.MemtableSize to decide when to rotate.
+func (m *Memtable) ApproximateSize() int64 { return m.list.ApproximateSize() }
+
+// Count returns the number of entries (versions, not distinct user keys).
+func (m *Memtable) Count() int64 { return m.list.Count() }
+
+// NewIter returns an iterator over internal keys in sorted order.
+func (m *Memtable) NewIter() *Iter { return m.list.NewIter() }

@@ -1,0 +1,156 @@
+// Package memtable implements the in-memory component C0 of the LSM-tree: a
+// skiplist keyed by internal keys, supporting a single concurrent writer and
+// any number of lock-free readers (the LevelDB concurrency contract — the DB
+// serializes writers with its own mutex).
+package memtable
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"pcplsm/internal/ikey"
+)
+
+const (
+	maxHeight = 12
+	// branching is the inverse probability of growing a node by one level.
+	branching = 4
+)
+
+// node is a skiplist node. key and value are immutable after insertion; the
+// next pointers are published with atomic stores so readers never observe a
+// half-linked node.
+type node struct {
+	key   []byte // internal key
+	value []byte
+	next  []atomic.Pointer[node]
+}
+
+func newNode(key, value []byte, height int) *node {
+	return &node{key: key, value: value, next: make([]atomic.Pointer[node], height)}
+}
+
+// Skiplist is an ordered map from internal key to value.
+type Skiplist struct {
+	head   *node
+	height atomic.Int32
+	size   atomic.Int64 // approximate memory footprint in bytes
+	count  atomic.Int64
+	rng    *rand.Rand // guarded by the single-writer contract
+}
+
+// NewSkiplist returns an empty skiplist. seed fixes the node-height sequence
+// so tests are reproducible.
+func NewSkiplist(seed int64) *Skiplist {
+	s := &Skiplist{
+		head: newNode(nil, nil, maxHeight),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	s.height.Store(1)
+	return s
+}
+
+// randomHeight draws a height with P(h) ∝ branching^-h.
+func (s *Skiplist) randomHeight() int {
+	h := 1
+	for h < maxHeight && s.rng.Intn(branching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= target, also filling
+// prev with the rightmost node before target at every level when prev is
+// non-nil.
+func (s *Skiplist) findGreaterOrEqual(target []byte, prev *[maxHeight]*node) *node {
+	x := s.head
+	level := int(s.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && ikey.Compare(next.key, target) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// Insert adds an internal key/value pair. Keys must be unique — the DB
+// guarantees this by stamping every write with a fresh sequence number.
+// Insert must only be called from one goroutine at a time.
+func (s *Skiplist) Insert(key, value []byte) {
+	var prev [maxHeight]*node
+	s.findGreaterOrEqual(key, &prev)
+
+	h := s.randomHeight()
+	if cur := int(s.height.Load()); h > cur {
+		for i := cur; i < h; i++ {
+			prev[i] = s.head
+		}
+		// Readers that race with this store simply use the old height and
+		// miss the taller levels — still correct, just slower.
+		s.height.Store(int32(h))
+	}
+
+	n := newNode(key, value, h)
+	for i := 0; i < h; i++ {
+		n.next[i].Store(prev[i].next[i].Load())
+	}
+	// Publish bottom-up so a reader following level-0 links always finds the
+	// node once any level points at it.
+	for i := 0; i < h; i++ {
+		prev[i].next[i].Store(n)
+	}
+	s.size.Add(int64(len(key) + len(value) + 48)) // 48 ≈ node overhead
+	s.count.Add(1)
+}
+
+// ApproximateSize returns the approximate memory footprint in bytes.
+func (s *Skiplist) ApproximateSize() int64 { return s.size.Load() }
+
+// Count returns the number of inserted entries.
+func (s *Skiplist) Count() int64 { return s.count.Load() }
+
+// Iter iterates a snapshot-consistent view of the skiplist (it sees at least
+// all entries present when movement began; concurrent inserts may or may not
+// appear, matching LevelDB semantics).
+type Iter struct {
+	list *Skiplist
+	n    *node
+}
+
+// NewIter returns an iterator positioned before the first entry.
+func (s *Skiplist) NewIter() *Iter { return &Iter{list: s} }
+
+// Valid reports whether the iterator is on an entry.
+func (it *Iter) Valid() bool { return it.n != nil }
+
+// Key returns the current internal key.
+func (it *Iter) Key() []byte { return it.n.key }
+
+// Value returns the current value.
+func (it *Iter) Value() []byte { return it.n.value }
+
+// First moves to the first entry.
+func (it *Iter) First() bool {
+	it.n = it.list.head.next[0].Load()
+	return it.n != nil
+}
+
+// Next advances one entry.
+func (it *Iter) Next() bool {
+	it.n = it.n.next[0].Load()
+	return it.n != nil
+}
+
+// Seek moves to the first entry with internal key >= target.
+func (it *Iter) Seek(target []byte) bool {
+	it.n = it.list.findGreaterOrEqual(target, nil)
+	return it.n != nil
+}

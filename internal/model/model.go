@@ -1,0 +1,271 @@
+// Package model implements the paper's analytical performance model
+// (Equations 1–7 in §III). Given the measured per-step times of one data
+// block (or sub-task), it predicts the compaction bandwidth of SCP, PCP,
+// S-PPCP and C-PPCP, the ideal speedups, and the resource-bound regime.
+//
+// Conventions: l is the amount of data per sub-task (bytes); t_Si are the
+// per-sub-task step times. Bandwidths are bytes per second.
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// StepTimes carries the per-sub-task execution time of each paper step.
+type StepTimes struct {
+	S1 time.Duration // READ
+	S2 time.Duration // CHECKSUM
+	S3 time.Duration // DECOMPRESS
+	S4 time.Duration // SORT
+	S5 time.Duration // COMPRESS
+	S6 time.Duration // RE-CHECKSUM
+	S7 time.Duration // WRITE
+}
+
+// Compute returns Σ t_S2…t_S6, the compute-stage service time.
+func (t StepTimes) Compute() time.Duration { return t.S2 + t.S3 + t.S4 + t.S5 + t.S6 }
+
+// Total returns Σ t_S1…t_S7.
+func (t StepTimes) Total() time.Duration { return t.S1 + t.Compute() + t.S7 }
+
+// Valid reports whether the sample is usable (a positive total).
+func (t StepTimes) Valid() bool { return t.Total() > 0 }
+
+// seconds converts safely.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// Bscp is Equation 1: the sequential procedure's bandwidth,
+//
+//	B_scp = l / Σ_{i=1..7} t_Si
+func Bscp(l int64, t StepTimes) float64 {
+	den := seconds(t.Total())
+	if den <= 0 {
+		return 0
+	}
+	return float64(l) / den
+}
+
+// Bpcp is Equation 2: the three-stage pipeline's bandwidth, limited by its
+// slowest stage,
+//
+//	B_pcp = l / max{ t_S1, Σ_{i=2..6} t_Si, t_S7 }
+func Bpcp(l int64, t StepTimes) float64 {
+	den := seconds(maxDur(t.S1, t.Compute(), t.S7))
+	if den <= 0 {
+		return 0
+	}
+	return float64(l) / den
+}
+
+// PcpSpeedup is Equation 3: B_pcp / B_scp.
+func PcpSpeedup(t StepTimes) float64 {
+	num := seconds(t.Total())
+	den := seconds(maxDur(t.S1, t.Compute(), t.S7))
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Bsppcp is Equation 4: the storage-parallel pipeline with k devices,
+//
+//	B_s-ppcp = l / max{ t_S1/k, Σ_{i=2..6} t_Si, t_S7/k }
+func Bsppcp(l int64, t StepTimes, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	den := maxF(seconds(t.S1)/float64(k), seconds(t.Compute()), seconds(t.S7)/float64(k))
+	if den <= 0 {
+		return 0
+	}
+	return float64(l) / den
+}
+
+// SppcpSpeedup is Equation 5: B_s-ppcp / B_pcp. Its ideal value is bounded
+// by min{ k, max{t_S1, t_S7} / Σ_{i=2..6} t_Si }.
+func SppcpSpeedup(t StepTimes, k int) float64 {
+	b1 := Bpcp(1, t)
+	bk := Bsppcp(1, t, k)
+	if b1 <= 0 {
+		return 0
+	}
+	return bk / b1
+}
+
+// SppcpSpeedupBound returns Equation 5's ideal ceiling,
+// min{ k, max{t_S1,t_S7} / Σ t_S2..6 }, floored at 1: when the pipeline is
+// already CPU-bound the paper's ratio drops below one, but extra devices
+// can never make it slower.
+func SppcpSpeedupBound(t StepTimes, k int) float64 {
+	c := seconds(t.Compute())
+	if c <= 0 {
+		return float64(k)
+	}
+	io := seconds(maxDur(t.S1, t.S7))
+	bound := io / c
+	if bound < 1 {
+		bound = 1
+	}
+	if float64(k) < bound {
+		return float64(k)
+	}
+	return bound
+}
+
+// Bcppcp is Equation 6: the computation-parallel pipeline with k workers,
+//
+//	B_c-ppcp = l / max{ t_S1, Σ_{i=2..6} t_Si / k, t_S7 }
+func Bcppcp(l int64, t StepTimes, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	den := maxF(seconds(t.S1), seconds(t.Compute())/float64(k), seconds(t.S7))
+	if den <= 0 {
+		return 0
+	}
+	return float64(l) / den
+}
+
+// CppcpSpeedup is Equation 7: B_c-ppcp / B_pcp. Its ideal value cannot
+// exceed min{ k, Σ_{i=2..6} t_Si / max{t_S1, t_S7} }.
+func CppcpSpeedup(t StepTimes, k int) float64 {
+	b1 := Bpcp(1, t)
+	bk := Bcppcp(1, t, k)
+	if b1 <= 0 {
+		return 0
+	}
+	return bk / b1
+}
+
+// CppcpSpeedupBound returns Equation 7's ideal ceiling,
+// min{ k, Σ t_S2..6 / max{t_S1,t_S7} }, floored at 1 (see SppcpSpeedupBound).
+func CppcpSpeedupBound(t StepTimes, k int) float64 {
+	io := seconds(maxDur(t.S1, t.S7))
+	if io <= 0 {
+		return float64(k)
+	}
+	bound := seconds(t.Compute()) / io
+	if bound < 1 {
+		bound = 1
+	}
+	if float64(k) < bound {
+		return float64(k)
+	}
+	return bound
+}
+
+// Regime classifies the pipeline's bottleneck stage.
+type Regime int
+
+const (
+	// IOBound means stage read or stage write dominates (HDD-like, paper
+	// Figure 6(a)).
+	IOBound Regime = iota
+	// CPUBound means the compute stage dominates (SSD-like, Figure 6(b)).
+	CPUBound
+)
+
+// String names the regime.
+func (r Regime) String() string {
+	if r == CPUBound {
+		return "cpu-bound"
+	}
+	return "io-bound"
+}
+
+// Classify returns the pipeline's regime under PCP.
+func Classify(t StepTimes) Regime {
+	if t.Compute() >= maxDur(t.S1, t.S7) {
+		return CPUBound
+	}
+	return IOBound
+}
+
+// SppcpStillIOBound reports the paper's §III-C1 condition: with k devices,
+// the pipeline stays I/O-bound iff k < max{t_S1, t_S7} / Σ t_S2..6. Past
+// that point adding devices cannot raise bandwidth (it has become
+// CPU-bound).
+func SppcpStillIOBound(t StepTimes, k int) bool {
+	return seconds(maxDur(t.S1, t.S7)) > float64(k)*seconds(t.Compute())
+}
+
+// CppcpStillCPUBound reports the §III-C2 condition: with k compute workers,
+// the pipeline stays CPU-bound iff k < Σ t_S2..6 / max{t_S1, t_S7}.
+func CppcpStillCPUBound(t StepTimes, k int) bool {
+	return seconds(t.Compute()) > float64(k)*seconds(maxDur(t.S1, t.S7))
+}
+
+// SaturationDevices returns the smallest device count at which S-PPCP
+// becomes CPU-bound — where Figure 12(a)'s curve flattens.
+func SaturationDevices(t StepTimes) int {
+	for k := 1; k < 1<<20; k++ {
+		if !SppcpStillIOBound(t, k) {
+			return k
+		}
+	}
+	return 1 << 20
+}
+
+// SaturationWorkers returns the smallest compute-worker count at which
+// C-PPCP becomes I/O-bound — where Figure 12(d)'s curve flattens.
+func SaturationWorkers(t StepTimes) int {
+	for k := 1; k < 1<<20; k++ {
+		if !CppcpStillCPUBound(t, k) {
+			return k
+		}
+	}
+	return 1 << 20
+}
+
+// Report summarizes the model's predictions for one measured profile.
+type Report struct {
+	Steps      StepTimes
+	SubtaskLen int64
+	Regime     Regime
+	Bscp       float64
+	Bpcp       float64
+	PcpSpeedup float64
+	SatDevices int
+	SatWorkers int
+}
+
+// Analyze builds a Report for a measured per-sub-task profile.
+func Analyze(l int64, t StepTimes) Report {
+	return Report{
+		Steps:      t,
+		SubtaskLen: l,
+		Regime:     Classify(t),
+		Bscp:       Bscp(l, t),
+		Bpcp:       Bpcp(l, t),
+		PcpSpeedup: PcpSpeedup(t),
+		SatDevices: SaturationDevices(t),
+		SatWorkers: SaturationWorkers(t),
+	}
+}
+
+// String renders the report for experiment logs.
+func (r Report) String() string {
+	return fmt.Sprintf("%v: Bscp=%.1fMiB/s Bpcp=%.1fMiB/s speedup=%.2fx sat(devices)=%d sat(workers)=%d",
+		r.Regime, r.Bscp/(1<<20), r.Bpcp/(1<<20), r.PcpSpeedup, r.SatDevices, r.SatWorkers)
+}
+
+func maxDur(ds ...time.Duration) time.Duration {
+	m := ds[0]
+	for _, d := range ds[1:] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxF(fs ...float64) float64 {
+	m := fs[0]
+	for _, f := range fs[1:] {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}

@@ -1,0 +1,245 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// hddProfile mirrors the paper's Figure 5(a): read >40%, write <20%,
+// compute ~40%.
+func hddProfile() StepTimes {
+	return StepTimes{
+		S1: 45 * time.Millisecond,
+		S2: 2 * time.Millisecond, S3: 3 * time.Millisecond, S4: 20 * time.Millisecond,
+		S5: 12 * time.Millisecond, S6: 2 * time.Millisecond,
+		S7: 16 * time.Millisecond,
+	}
+}
+
+// ssdProfile mirrors Figure 5(b): compute >60%, write > read.
+func ssdProfile() StepTimes {
+	return StepTimes{
+		S1: 14 * time.Millisecond,
+		S2: 3 * time.Millisecond, S3: 5 * time.Millisecond, S4: 30 * time.Millisecond,
+		S5: 20 * time.Millisecond, S6: 4 * time.Millisecond,
+		S7: 27 * time.Millisecond,
+	}
+}
+
+// randomProfile builds a positive StepTimes from fuzz inputs.
+func randomProfile(a, b, c, d, e, f, g uint16) StepTimes {
+	ms := func(x uint16) time.Duration { return time.Duration(int(x)%1000+1) * time.Millisecond }
+	return StepTimes{S1: ms(a), S2: ms(b), S3: ms(c), S4: ms(d), S5: ms(e), S6: ms(f), S7: ms(g)}
+}
+
+func TestEquation1And2KnownValues(t *testing.T) {
+	// 100ms total, bottleneck stage 45ms, l = 1MiB.
+	tt := hddProfile()
+	l := int64(1 << 20)
+	if got := Bscp(l, tt); math.Abs(got-float64(l)/0.1) > 1 {
+		t.Fatalf("Bscp = %f, want %f", got, float64(l)/0.1)
+	}
+	if got := Bpcp(l, tt); math.Abs(got-float64(l)/0.045) > 1 {
+		t.Fatalf("Bpcp = %f, want %f", got, float64(l)/0.045)
+	}
+	if got := PcpSpeedup(tt); math.Abs(got-0.1/0.045) > 1e-9 {
+		t.Fatalf("speedup = %f", got)
+	}
+}
+
+func TestPcpSpeedupBounds(t *testing.T) {
+	// Equation 3's value is always in [1, 3]: the pipeline can at best
+	// perfectly overlap three stages.
+	f := func(a, b, c, d, e, g, h uint16) bool {
+		tt := randomProfile(a, b, c, d, e, g, h)
+		s := PcpSpeedup(tt)
+		return s >= 1.0-1e-9 && s <= 3.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegimeClassification(t *testing.T) {
+	if Classify(hddProfile()) != IOBound {
+		t.Fatal("HDD profile must classify IO-bound")
+	}
+	if Classify(ssdProfile()) != CPUBound {
+		t.Fatal("SSD profile must classify CPU-bound")
+	}
+	if IOBound.String() != "io-bound" || CPUBound.String() != "cpu-bound" {
+		t.Fatal("regime names")
+	}
+}
+
+func TestSppcpMonotoneAndSaturating(t *testing.T) {
+	tt := hddProfile() // IO-bound: devices should help, then flatten
+	l := int64(1 << 20)
+	prev := 0.0
+	for k := 1; k <= 16; k++ {
+		b := Bsppcp(l, tt, k)
+		if b+1e-6 < prev {
+			t.Fatalf("Bsppcp decreased at k=%d: %f < %f", k, b, prev)
+		}
+		prev = b
+	}
+	// Saturation: once CPU-bound, more devices give nothing.
+	sat := SaturationDevices(tt)
+	if sat < 2 {
+		t.Fatalf("HDD profile should benefit from >1 disk, sat=%d", sat)
+	}
+	bAtSat := Bsppcp(l, tt, sat)
+	bWayPast := Bsppcp(l, tt, sat*4)
+	if (bWayPast-bAtSat)/bAtSat > 0.01 {
+		t.Fatalf("bandwidth still rising past saturation: %f → %f", bAtSat, bWayPast)
+	}
+	// Past saturation the regime must be CPU-bound.
+	if SppcpStillIOBound(tt, sat) {
+		t.Fatal("at saturation the pipeline should no longer be IO-bound")
+	}
+	if !SppcpStillIOBound(tt, 1) {
+		t.Fatal("HDD profile with 1 disk must be IO-bound")
+	}
+}
+
+func TestCppcpMonotoneAndSaturating(t *testing.T) {
+	tt := ssdProfile() // CPU-bound: workers should help, then flatten
+	l := int64(1 << 20)
+	prev := 0.0
+	for k := 1; k <= 16; k++ {
+		b := Bcppcp(l, tt, k)
+		if b+1e-6 < prev {
+			t.Fatalf("Bcppcp decreased at k=%d", k)
+		}
+		prev = b
+	}
+	sat := SaturationWorkers(tt)
+	if sat < 2 {
+		t.Fatalf("SSD profile should benefit from >1 worker, sat=%d", sat)
+	}
+	bAtSat := Bcppcp(l, tt, sat)
+	bWayPast := Bcppcp(l, tt, sat*4)
+	if (bWayPast-bAtSat)/bAtSat > 0.01 {
+		t.Fatal("bandwidth still rising past worker saturation")
+	}
+	if CppcpStillCPUBound(tt, sat) {
+		t.Fatal("at saturation the pipeline should no longer be CPU-bound")
+	}
+	if !CppcpStillCPUBound(tt, 1) {
+		t.Fatal("SSD profile with 1 worker must be CPU-bound")
+	}
+}
+
+func TestSpeedupCeilings(t *testing.T) {
+	// Equations 5 and 7: measured ideal speedups never exceed their bounds.
+	f := func(a, b, c, d, e, g, h uint16, kk uint8) bool {
+		tt := randomProfile(a, b, c, d, e, g, h)
+		k := int(kk%15) + 1
+		if SppcpSpeedup(tt, k) > SppcpSpeedupBound(tt, k)+1e-9 {
+			return false
+		}
+		if CppcpSpeedup(tt, k) > CppcpSpeedupBound(tt, k)+1e-9 {
+			return false
+		}
+		// Speedups are at least 1 (adding resources never hurts in the
+		// ideal model).
+		return SppcpSpeedup(tt, k) >= 1-1e-9 && CppcpSpeedup(tt, k) >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformations(t *testing.T) {
+	// §III: "I/O-bound cases can be transformed to CPU-bound cases when
+	// excessive storage devices are used" — and vice versa.
+	hdd := hddProfile()
+	if Classify(hdd) != IOBound {
+		t.Fatal("precondition")
+	}
+	k := SaturationDevices(hdd)
+	// After k devices, effective read/write times are divided by k; the
+	// bottleneck is now compute.
+	eff := hdd
+	eff.S1 /= time.Duration(k)
+	eff.S7 /= time.Duration(k)
+	if Classify(eff) != CPUBound {
+		t.Fatalf("with %d devices the HDD profile should become CPU-bound", k)
+	}
+
+	ssd := ssdProfile()
+	kw := SaturationWorkers(ssd)
+	effc := ssd
+	effc.S2 /= time.Duration(kw)
+	effc.S3 /= time.Duration(kw)
+	effc.S4 /= time.Duration(kw)
+	effc.S5 /= time.Duration(kw)
+	effc.S6 /= time.Duration(kw)
+	if Classify(effc) != IOBound {
+		t.Fatalf("with %d workers the SSD profile should become IO-bound", kw)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	var zero StepTimes
+	if zero.Valid() {
+		t.Fatal("zero profile should be invalid")
+	}
+	if Bscp(1<<20, zero) != 0 || Bpcp(1<<20, zero) != 0 {
+		t.Fatal("zero profile should yield zero bandwidth")
+	}
+	if PcpSpeedup(zero) != 0 {
+		t.Fatal("zero profile speedup should be 0")
+	}
+	// k < 1 clamps to 1.
+	tt := ssdProfile()
+	if Bsppcp(1, tt, 0) != Bsppcp(1, tt, 1) || Bcppcp(1, tt, -3) != Bcppcp(1, tt, 1) {
+		t.Fatal("k clamping broken")
+	}
+	// Pure-compute profile: adding disks cannot help — the ceiling floors
+	// at 1 (no gain, no loss).
+	pureCPU := StepTimes{S4: time.Second}
+	if got := SppcpSpeedupBound(pureCPU, 8); got != 1 {
+		t.Fatalf("pure-CPU SppcpSpeedupBound = %f, want 1", got)
+	}
+	pureIO := StepTimes{S1: time.Second}
+	if got := CppcpSpeedupBound(pureIO, 8); got != 1 {
+		t.Fatalf("pure-IO CppcpSpeedupBound = %f, want 1", got)
+	}
+	if got := SppcpSpeedupBound(pureIO, 8); got != 8 {
+		t.Fatalf("pure-IO SppcpSpeedupBound = %f, want 8", got)
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	r := Analyze(1<<20, ssdProfile())
+	if r.Regime != CPUBound {
+		t.Fatal("regime")
+	}
+	if r.Bpcp <= r.Bscp {
+		t.Fatal("pipeline must beat sequential in the model")
+	}
+	if r.PcpSpeedup <= 1 {
+		t.Fatal("speedup must exceed 1")
+	}
+	if r.SatWorkers < 1 || r.SatDevices < 1 {
+		t.Fatal("saturation points")
+	}
+	if r.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestPaperHeadlineShapeHolds(t *testing.T) {
+	// The paper reports PCP improving compaction bandwidth by ≥45% on HDD
+	// and ≥65% on SSD. The ideal model must allow at least those gains for
+	// the corresponding profiles.
+	if s := PcpSpeedup(hddProfile()); s < 1.45 {
+		t.Fatalf("HDD-profile ideal speedup %.2f < paper's measured 1.45", s)
+	}
+	if s := PcpSpeedup(ssdProfile()); s < 1.65 {
+		t.Fatalf("SSD-profile ideal speedup %.2f < paper's measured 1.65", s)
+	}
+}

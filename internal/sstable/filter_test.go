@@ -1,0 +1,109 @@
+package sstable
+
+import (
+	"fmt"
+	"testing"
+
+	"pcplsm/internal/storage"
+)
+
+func TestTableFilterRoundTrip(t *testing.T) {
+	fs := storage.NewMemFS()
+	kvs := genKVs(2000, 50, 77)
+	buildTable(t, fs, "t", WriterOptions{FilterBitsPerKey: 10}, kvs)
+	r := openTable(t, fs, "t")
+	defer r.Close()
+
+	if !r.HasFilter() {
+		t.Fatal("table should carry a filter")
+	}
+	// No false negatives.
+	for _, kv := range kvs {
+		if !r.MayContain([]byte(kv[0])) {
+			t.Fatalf("filter rejected present key %q", kv[0])
+		}
+	}
+	// Mostly-true negatives.
+	fp := 0
+	const probes = 5000
+	for i := 0; i < probes; i++ {
+		if r.MayContain([]byte(fmt.Sprintf("absent-%06d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestTableFilterKeyMapping(t *testing.T) {
+	// FilterKey strips a suffix; probes must use the mapped form.
+	fs := storage.NewMemFS()
+	f, _ := fs.Create("t")
+	w := NewWriter(f, WriterOptions{
+		FilterBitsPerKey: 10,
+		FilterKey:        func(k []byte) []byte { return k[:len(k)-4] },
+	})
+	for i := 0; i < 100; i++ {
+		w.Add([]byte(fmt.Sprintf("key%04d-sfx", i)), []byte("v"))
+	}
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r := openTable(t, fs, "t")
+	defer r.Close()
+	if !r.MayContain([]byte("key0042")) {
+		t.Fatal("mapped filter key rejected")
+	}
+}
+
+func TestTableWithoutFilterFailsOpen(t *testing.T) {
+	fs := storage.NewMemFS()
+	kvs := genKVs(100, 20, 78)
+	buildTable(t, fs, "t", WriterOptions{}, kvs) // no filter
+	r := openTable(t, fs, "t")
+	defer r.Close()
+	if r.HasFilter() {
+		t.Fatal("unexpected filter")
+	}
+	if !r.MayContain([]byte("anything")) {
+		t.Fatal("filterless table must fail open")
+	}
+}
+
+func TestEmptyTableWithFilterOption(t *testing.T) {
+	fs := storage.NewMemFS()
+	buildTable(t, fs, "t", WriterOptions{FilterBitsPerKey: 10}, nil)
+	r := openTable(t, fs, "t")
+	defer r.Close()
+	// Zero entries → no filter block is written; probes fail open.
+	if !r.MayContain([]byte("x")) {
+		t.Fatal("empty table should fail open")
+	}
+}
+
+func TestFilterSurvivesScanAndSeek(t *testing.T) {
+	// The filter block must not disturb normal iteration (it sits between
+	// data blocks and the index).
+	fs := storage.NewMemFS()
+	kvs := genKVs(1500, 40, 79)
+	buildTable(t, fs, "t", WriterOptions{FilterBitsPerKey: 10, BlockSize: 512}, kvs)
+	r := openTable(t, fs, "t")
+	defer r.Close()
+	it := r.NewIter()
+	i := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if string(it.Key()) != kvs[i][0] {
+			t.Fatalf("entry %d: %q", i, it.Key())
+		}
+		i++
+	}
+	if i != len(kvs) || it.Err() != nil {
+		t.Fatalf("scan: %d entries, err %v", i, it.Err())
+	}
+	mid := kvs[len(kvs)/2][0]
+	if !it.Seek([]byte(mid)) || string(it.Key()) != mid {
+		t.Fatal("seek broken with filter present")
+	}
+}

@@ -1,0 +1,158 @@
+// Package sstable implements the on-disk sorted-table format (Figure 1(b) of
+// the paper): a sequence of data blocks followed by an index block that
+// records the start key, end key and offset of every data block, and a fixed
+// footer locating the index.
+//
+// Physical block encoding — each block (data or index) is stored as
+//
+//	| compressed payload | codec kind (1B) | masked CRC32-C (4B LE) |
+//
+// where the CRC covers payload+kind. The helpers CompressBlock /
+// ChecksumBlock / VerifyBlockChecksum / DecompressBlock correspond exactly
+// to compaction steps S5, S6, S2 and S3, so the compaction engine can time
+// each step the way the paper's profiling does.
+package sstable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pcplsm/internal/checksum"
+	"pcplsm/internal/compress"
+)
+
+const (
+	// BlockTrailerLen is the codec byte plus the checksum.
+	BlockTrailerLen = 5
+	// FooterLen is the fixed footer size: a padded index handle plus magic.
+	FooterLen = 48
+	// Magic marks the end of a complete table file.
+	Magic = 0x70637073_7374626c // "pcps" "stbl"
+)
+
+// ErrBadTable reports a structurally invalid table file.
+var ErrBadTable = errors.New("sstable: invalid table")
+
+// BlockHandle locates a physical block (including its trailer) in the file.
+type BlockHandle struct {
+	Offset int64
+	Length int64 // physical length including the 5-byte trailer
+}
+
+// EncodeTo appends the handle's uvarint encoding.
+func (h BlockHandle) EncodeTo(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(h.Offset))
+	return binary.AppendUvarint(dst, uint64(h.Length))
+}
+
+// DecodeHandle parses a handle and returns the remaining bytes.
+func DecodeHandle(src []byte) (BlockHandle, []byte, error) {
+	off, n1 := binary.Uvarint(src)
+	if n1 <= 0 {
+		return BlockHandle{}, nil, fmt.Errorf("%w: bad handle offset", ErrBadTable)
+	}
+	length, n2 := binary.Uvarint(src[n1:])
+	if n2 <= 0 {
+		return BlockHandle{}, nil, fmt.Errorf("%w: bad handle length", ErrBadTable)
+	}
+	return BlockHandle{Offset: int64(off), Length: int64(length)}, src[n1+n2:], nil
+}
+
+// CompressBlock (paper step S5) appends codec's compression of plain to dst,
+// followed by the codec kind byte. If compression does not shrink the block,
+// it is stored raw under the None codec — the standard format-level guard
+// against incompressible data.
+func CompressBlock(dst, plain []byte, codec compress.Codec) []byte {
+	mark := len(dst)
+	dst = codec.Compress(dst, plain)
+	if codec.Kind() != compress.None && len(dst)-mark >= len(plain) {
+		dst = append(dst[:mark], plain...)
+		return append(dst, byte(compress.None))
+	}
+	return append(dst, byte(codec.Kind()))
+}
+
+// ChecksumBlock (paper step S6) appends the masked CRC32-C trailer covering
+// payload (which must already end with its codec kind byte).
+func ChecksumBlock(payload []byte) []byte {
+	return checksum.Append(payload, payload)
+}
+
+// SealBlock runs S5 then S6, producing a complete physical block.
+func SealBlock(dst, plain []byte, codec compress.Codec) []byte {
+	mark := len(dst)
+	dst = CompressBlock(dst, plain, codec)
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], checksum.Mask(checksum.Sum(dst[mark:])))
+	return append(dst, tr[:]...)
+}
+
+// VerifyBlockChecksum (paper step S2) checks a physical block's trailer and
+// returns the payload (compressed bytes plus kind byte).
+func VerifyBlockChecksum(physical []byte) ([]byte, error) {
+	if len(physical) < BlockTrailerLen {
+		return nil, fmt.Errorf("%w: physical block of %d bytes", ErrBadTable, len(physical))
+	}
+	payload, err := checksum.VerifyTrailer(physical)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: block checksum: %w", err)
+	}
+	return payload, nil
+}
+
+// DecompressBlock (paper step S3) decodes a verified payload (compressed
+// bytes plus trailing kind byte), appending the plain block to dst.
+func DecompressBlock(dst, payload []byte) ([]byte, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: empty block payload", ErrBadTable)
+	}
+	kind := compress.Kind(payload[len(payload)-1])
+	codec, err := compress.ByKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	return codec.Decompress(dst, payload[:len(payload)-1])
+}
+
+// OpenBlock runs S2 then S3 on a physical block.
+func OpenBlock(dst, physical []byte) ([]byte, error) {
+	payload, err := VerifyBlockChecksum(physical)
+	if err != nil {
+		return nil, err
+	}
+	return DecompressBlock(dst, payload)
+}
+
+// encodeFooter produces the fixed-size footer: the index handle, then the
+// (possibly zero) Bloom filter handle, zero padding, and the magic. A zero
+// filter handle means the table carries no filter.
+func encodeFooter(index, filter BlockHandle) []byte {
+	buf := make([]byte, 0, FooterLen)
+	buf = index.EncodeTo(buf)
+	buf = filter.EncodeTo(buf)
+	for len(buf) < FooterLen-8 {
+		buf = append(buf, 0)
+	}
+	return binary.LittleEndian.AppendUint64(buf, Magic)
+}
+
+// decodeFooter parses the footer and returns the index and filter handles
+// (filter.Length == 0 when the table has no filter).
+func decodeFooter(buf []byte) (index, filter BlockHandle, err error) {
+	if len(buf) != FooterLen {
+		return BlockHandle{}, BlockHandle{}, fmt.Errorf("%w: footer is %d bytes", ErrBadTable, len(buf))
+	}
+	if binary.LittleEndian.Uint64(buf[FooterLen-8:]) != Magic {
+		return BlockHandle{}, BlockHandle{}, fmt.Errorf("%w: bad magic", ErrBadTable)
+	}
+	index, rest, err := DecodeHandle(buf)
+	if err != nil {
+		return BlockHandle{}, BlockHandle{}, err
+	}
+	filter, _, err = DecodeHandle(rest)
+	if err != nil {
+		return BlockHandle{}, BlockHandle{}, err
+	}
+	return index, filter, nil
+}

@@ -1,0 +1,85 @@
+package sstable
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcplsm/internal/storage"
+)
+
+// TestReaderNeverPanicsOnCorruption hammers the table reader with random
+// mutations of a valid table: every open/scan/seek must either succeed or
+// fail with an error — never panic, never read out of bounds. This is the
+// robustness contract the compaction pipeline's S2 checksum step depends
+// on.
+func TestReaderNeverPanicsOnCorruption(t *testing.T) {
+	fs := storage.NewMemFS()
+	kvs := genKVs(500, 60, 42)
+	buildTable(t, fs, "t", WriterOptions{BlockSize: 512, FilterBitsPerKey: 10}, kvs)
+	orig, err := storage.ReadAll(fs, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1337))
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte{}, orig...)
+		switch trial % 4 {
+		case 0: // single bit flip
+			mut[rng.Intn(len(mut))] ^= 1 << rng.Intn(8)
+		case 1: // byte splat
+			for i, n := rng.Intn(len(mut)), rng.Intn(32)+1; i < len(mut) && n > 0; i, n = i+1, n-1 {
+				mut[i] = byte(rng.Intn(256))
+			}
+		case 2: // truncation
+			mut = mut[:rng.Intn(len(mut))]
+		case 3: // zero a region
+			start := rng.Intn(len(mut))
+			end := start + rng.Intn(len(mut)-start)
+			for i := start; i < end; i++ {
+				mut[i] = 0
+			}
+		}
+		name := "mut"
+		fs.Remove(name)
+		if err := storage.WriteFile(fs, name, mut); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: reader panicked: %v", trial, r)
+				}
+			}()
+			f, err := fs.Open(name)
+			if err != nil {
+				return
+			}
+			defer f.Close()
+			r, err := NewReader(f, nil)
+			if err != nil {
+				return // rejected cleanly
+			}
+			// Scan everything, seek a few keys, probe the filter.
+			it := r.NewIter()
+			for ok := it.First(); ok; ok = it.Next() {
+				_, _ = it.Key(), it.Value()
+			}
+			for i := 0; i < 5; i++ {
+				it.Seek([]byte(kvs[rng.Intn(len(kvs))][0]))
+			}
+			r.MayContain([]byte("probe"))
+			r.Smallest()
+		}()
+	}
+}
+
+// TestWriterRejectsMisuse: defensive API contracts hold.
+func TestWriterRejectsMisuse(t *testing.T) {
+	fs := storage.NewMemFS()
+	f, _ := fs.Create("t")
+	w := NewRawWriter(f, nil)
+	if err := w.AddSealedBlock([]byte("a"), []byte("a"), []byte{1, 2}, 1); err == nil {
+		t.Fatal("undersized sealed block accepted")
+	}
+}

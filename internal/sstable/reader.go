@@ -1,0 +1,374 @@
+package sstable
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pcplsm/internal/block"
+	"pcplsm/internal/bloom"
+	"pcplsm/internal/cache"
+	"pcplsm/internal/storage"
+)
+
+// IndexEntry describes one data block: the last key it contains and where
+// its physical bytes live. The compaction partitioner consumes these to cut
+// sub-key-ranges at block boundaries.
+type IndexEntry struct {
+	LastKey []byte
+	Handle  BlockHandle
+}
+
+// Reader provides random access to a finished table.
+type Reader struct {
+	f       storage.File
+	size    int64
+	cmp     block.Compare
+	entries []IndexEntry
+
+	filterHandle BlockHandle
+	filterOnce   sync.Once
+	filter       []byte // loaded lazily; nil if absent or unreadable
+
+	bcache  *cache.Cache
+	cacheID uint64
+}
+
+// SetBlockCache attaches a shared block cache; id must uniquely identify
+// this table (the LSM layer uses the file number). Cached blocks are the
+// decompressed contents, shared across readers — callers of ReadBlockData
+// must never modify returned slices once a cache is attached.
+func (r *Reader) SetBlockCache(c *cache.Cache, id uint64) {
+	r.bcache = c
+	r.cacheID = id
+}
+
+// NewReader opens a table: it reads the footer, loads and parses the index
+// block, and keeps the file handle for data-block reads. cmp must match the
+// comparator the table was written with (nil = bytes.Compare).
+func NewReader(f storage.File, cmp block.Compare) (*Reader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < FooterLen {
+		return nil, fmt.Errorf("%w: file of %d bytes", ErrBadTable, size)
+	}
+	footer := make([]byte, FooterLen)
+	if _, err := f.ReadAt(footer, size-FooterLen); err != nil && err != io.EOF {
+		return nil, err
+	}
+	ih, fh, err := decodeFooter(footer)
+	if err != nil {
+		return nil, err
+	}
+	if ih.Offset+ih.Length > size-FooterLen {
+		return nil, fmt.Errorf("%w: index handle out of range", ErrBadTable)
+	}
+	physical := make([]byte, ih.Length)
+	if _, err := f.ReadAt(physical, ih.Offset); err != nil && err != io.EOF {
+		return nil, err
+	}
+	plain, err := OpenBlock(nil, physical)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: opening index: %w", err)
+	}
+	it, err := block.NewIter(plain, cmp)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: parsing index: %w", err)
+	}
+	var entries []IndexEntry
+	for ok := it.First(); ok; ok = it.Next() {
+		h, rest, err := DecodeHandle(it.Value())
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: trailing bytes in index value", ErrBadTable)
+		}
+		entries = append(entries, IndexEntry{
+			LastKey: append([]byte(nil), it.Key()...),
+			Handle:  h,
+		})
+	}
+	if it.Err() != nil {
+		return nil, it.Err()
+	}
+	return &Reader{f: f, size: size, cmp: cmp, entries: entries, filterHandle: fh}, nil
+}
+
+// MayContain probes the table's Bloom filter with a filter key (the same
+// key form the writer's FilterKey produced — user keys, for LSM tables).
+// It returns true when the table has no filter or the filter cannot be
+// read: the filter is an optimization, never an authority.
+func (r *Reader) MayContain(filterKey []byte) bool {
+	if r.filterHandle.Length == 0 {
+		return true
+	}
+	r.filterOnce.Do(func() {
+		physical, err := r.ReadRaw(nil, r.filterHandle)
+		if err != nil {
+			return
+		}
+		plain, err := OpenBlock(nil, physical)
+		if err != nil {
+			return
+		}
+		r.filter = plain
+	})
+	if r.filter == nil {
+		return true
+	}
+	return bloom.MayContain(r.filter, filterKey)
+}
+
+// HasFilter reports whether the table carries a Bloom filter.
+func (r *Reader) HasFilter() bool { return r.filterHandle.Length > 0 }
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// NumBlocks returns the number of data blocks.
+func (r *Reader) NumBlocks() int { return len(r.entries) }
+
+// IndexEntries exposes the parsed index. Callers must not mutate it.
+func (r *Reader) IndexEntries() []IndexEntry { return r.entries }
+
+// Largest returns the table's largest key (the last index key), or nil for
+// an empty table.
+func (r *Reader) Largest() []byte {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	return r.entries[len(r.entries)-1].LastKey
+}
+
+// Smallest returns the table's smallest key by opening the first block.
+func (r *Reader) Smallest() ([]byte, error) {
+	if len(r.entries) == 0 {
+		return nil, nil
+	}
+	plain, err := r.ReadBlockData(nil, r.entries[0].Handle)
+	if err != nil {
+		return nil, err
+	}
+	it, err := block.NewIter(plain, r.cmp)
+	if err != nil {
+		return nil, err
+	}
+	if !it.First() {
+		return nil, fmt.Errorf("%w: empty first block", ErrBadTable)
+	}
+	return append([]byte(nil), it.Key()...), nil
+}
+
+// ReadRaw performs paper step S1 for one block: it returns the physical
+// bytes (compressed payload + trailer) without verifying or decompressing.
+func (r *Reader) ReadRaw(dst []byte, h BlockHandle) ([]byte, error) {
+	if h.Offset < 0 || h.Length < BlockTrailerLen || h.Offset+h.Length > r.size {
+		return nil, fmt.Errorf("%w: block handle {%d,%d} out of range", ErrBadTable, h.Offset, h.Length)
+	}
+	if cap(dst) < int(h.Length) {
+		dst = make([]byte, h.Length)
+	} else {
+		dst = dst[:h.Length]
+	}
+	if _, err := r.f.ReadAt(dst, h.Offset); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ReadBlockData runs S1+S2+S3 and returns the plain block contents. With a
+// block cache attached, hot blocks skip both the I/O and the decompression;
+// the returned slice is then shared and must not be modified.
+func (r *Reader) ReadBlockData(dst []byte, h BlockHandle) ([]byte, error) {
+	if r.bcache != nil {
+		key := cache.Key{ID: r.cacheID, Offset: h.Offset}
+		if v := r.bcache.Get(key); v != nil {
+			return v, nil
+		}
+		physical, err := r.ReadRaw(nil, h)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := OpenBlock(nil, physical)
+		if err != nil {
+			return nil, err
+		}
+		r.bcache.Put(key, plain)
+		return plain, nil
+	}
+	physical, err := r.ReadRaw(nil, h)
+	if err != nil {
+		return nil, err
+	}
+	return OpenBlock(dst, physical)
+}
+
+// Get returns the value of the first entry with key >= target if that
+// entry's key equals target under the comparator... it returns the entry
+// found at or after target: (key, value, true). ok is false when target is
+// past the end of the table. The LSM layer interprets the internal key.
+func (r *Reader) Get(target []byte) (key, value []byte, ok bool, err error) {
+	it := r.NewIter()
+	if !it.Seek(target) {
+		return nil, nil, false, it.Err()
+	}
+	return it.Key(), it.Value(), true, nil
+}
+
+// Iter is a two-level iterator over the table.
+type Iter struct {
+	r        *Reader
+	blockIdx int // current data block, -1 before start
+	bi       *block.Iter
+	buf      []byte
+	err      error
+}
+
+// NewIter returns an iterator positioned before the first entry.
+func (r *Reader) NewIter() *Iter {
+	return &Iter{r: r, blockIdx: -1}
+}
+
+// Valid reports whether the iterator is on an entry.
+func (it *Iter) Valid() bool { return it.err == nil && it.bi != nil && it.bi.Valid() }
+
+// Err returns the first error encountered.
+func (it *Iter) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	if it.bi != nil {
+		return it.bi.Err()
+	}
+	return nil
+}
+
+// Key returns the current key (owned by the iterator).
+func (it *Iter) Key() []byte { return it.bi.Key() }
+
+// Value returns the current value.
+func (it *Iter) Value() []byte { return it.bi.Value() }
+
+// loadBlock opens data block i.
+func (it *Iter) loadBlock(i int) bool {
+	// Reuse the scratch buffer only when no cache is attached: cached
+	// blocks are shared and must never be appended into.
+	var dst []byte
+	if it.r.bcache == nil {
+		dst = it.buf[:0]
+	}
+	plain, err := it.r.ReadBlockData(dst, it.r.entries[i].Handle)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if it.r.bcache == nil {
+		it.buf = plain
+	}
+	bi, err := block.NewIter(plain, it.r.cmp)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.blockIdx = i
+	it.bi = bi
+	return true
+}
+
+// First positions at the first entry of the table.
+func (it *Iter) First() bool {
+	if len(it.r.entries) == 0 {
+		return false
+	}
+	if !it.loadBlock(0) {
+		return false
+	}
+	return it.bi.First()
+}
+
+// Next advances one entry, moving across block boundaries.
+func (it *Iter) Next() bool {
+	if it.err != nil || it.bi == nil {
+		return false
+	}
+	if it.bi.Next() {
+		return true
+	}
+	if it.bi.Err() != nil {
+		it.err = it.bi.Err()
+		return false
+	}
+	for it.blockIdx+1 < len(it.r.entries) {
+		if !it.loadBlock(it.blockIdx + 1) {
+			return false
+		}
+		if it.bi.First() {
+			return true
+		}
+		if it.bi.Err() != nil {
+			it.err = it.bi.Err()
+			return false
+		}
+	}
+	return false
+}
+
+// Seek positions at the first entry with key >= target.
+func (it *Iter) Seek(target []byte) bool {
+	if it.err != nil {
+		return false
+	}
+	cmp := it.r.cmp
+	if cmp == nil {
+		cmp = defaultCompare
+	}
+	// Binary search the index: first block whose LastKey >= target.
+	lo, hi := 0, len(it.r.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmp(it.r.entries[mid].LastKey, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(it.r.entries) {
+		it.bi = nil
+		return false
+	}
+	if !it.loadBlock(lo) {
+		return false
+	}
+	if it.bi.Seek(target) {
+		return true
+	}
+	if it.bi.Err() != nil {
+		it.err = it.bi.Err()
+		return false
+	}
+	// Target falls in the gap after this block's last key (can happen only
+	// if LastKey comparisons and block contents disagree — defensive).
+	for it.blockIdx+1 < len(it.r.entries) {
+		if !it.loadBlock(it.blockIdx + 1) {
+			return false
+		}
+		if it.bi.First() {
+			return true
+		}
+	}
+	return false
+}
+
+func defaultCompare(a, b []byte) int {
+	switch {
+	case string(a) < string(b):
+		return -1
+	case string(a) > string(b):
+		return 1
+	default:
+		return 0
+	}
+}

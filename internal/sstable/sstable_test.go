@@ -1,0 +1,421 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pcplsm/internal/compress"
+	"pcplsm/internal/storage"
+)
+
+func buildTable(t testing.TB, fs storage.FS, name string, opts WriterOptions, kvs [][2]string) TableMeta {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, opts)
+	for _, kv := range kvs {
+		if err := w.Add([]byte(kv[0]), []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func openTable(t testing.TB, fs storage.FS, name string) *Reader {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func genKVs(n int, valLen int, seed int64) [][2]string {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var kvs [][2]string
+	for len(kvs) < n {
+		k := fmt.Sprintf("user%010d", rng.Intn(n*10))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		v := make([]byte, valLen)
+		rng.Read(v)
+		kvs = append(kvs, [2]string{k, string(v)})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i][0] < kvs[j][0] })
+	return kvs
+}
+
+func TestWriteReadScan(t *testing.T) {
+	for _, kind := range []compress.Kind{compress.None, compress.Snappy, compress.Flate} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fs := storage.NewMemFS()
+			kvs := genKVs(2000, 100, 1)
+			meta := buildTable(t, fs, "t", WriterOptions{Codec: compress.MustByKind(kind)}, kvs)
+
+			if meta.Entries != int64(len(kvs)) {
+				t.Fatalf("Entries = %d, want %d", meta.Entries, len(kvs))
+			}
+			if string(meta.Smallest) != kvs[0][0] || string(meta.Largest) != kvs[len(kvs)-1][0] {
+				t.Fatalf("bounds [%q,%q]", meta.Smallest, meta.Largest)
+			}
+			if meta.DataBlocks < 10 {
+				t.Fatalf("expected many blocks, got %d", meta.DataBlocks)
+			}
+
+			r := openTable(t, fs, "t")
+			defer r.Close()
+			if r.NumBlocks() != meta.DataBlocks {
+				t.Fatalf("NumBlocks = %d, want %d", r.NumBlocks(), meta.DataBlocks)
+			}
+			it := r.NewIter()
+			i := 0
+			for ok := it.First(); ok; ok = it.Next() {
+				if string(it.Key()) != kvs[i][0] || string(it.Value()) != kvs[i][1] {
+					t.Fatalf("entry %d mismatch: key %q", i, it.Key())
+				}
+				i++
+			}
+			if it.Err() != nil {
+				t.Fatal(it.Err())
+			}
+			if i != len(kvs) {
+				t.Fatalf("scanned %d, want %d", i, len(kvs))
+			}
+		})
+	}
+}
+
+func TestSeekAcrossBlocks(t *testing.T) {
+	fs := storage.NewMemFS()
+	kvs := genKVs(3000, 50, 2)
+	buildTable(t, fs, "t", WriterOptions{BlockSize: 512}, kvs)
+	r := openTable(t, fs, "t")
+	defer r.Close()
+
+	keys := make([]string, len(kvs))
+	for i, kv := range kvs {
+		keys[i] = kv[0]
+	}
+	it := r.NewIter()
+	f := func(raw string) bool {
+		target := "user" + raw
+		idx := sort.SearchStrings(keys, target)
+		ok := it.Seek([]byte(target))
+		if idx == len(keys) {
+			return !ok
+		}
+		return ok && string(it.Key()) == keys[idx] && string(it.Value()) == kvs[idx][1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Exact seeks on every 37th key.
+	for i := 0; i < len(kvs); i += 37 {
+		if !it.Seek([]byte(kvs[i][0])) || string(it.Key()) != kvs[i][0] {
+			t.Fatalf("exact seek %q failed", kvs[i][0])
+		}
+	}
+}
+
+func TestSeekThenScanToEnd(t *testing.T) {
+	fs := storage.NewMemFS()
+	kvs := genKVs(500, 20, 3)
+	buildTable(t, fs, "t", WriterOptions{BlockSize: 256}, kvs)
+	r := openTable(t, fs, "t")
+	defer r.Close()
+	it := r.NewIter()
+	mid := len(kvs) / 3
+	if !it.Seek([]byte(kvs[mid][0])) {
+		t.Fatal("seek failed")
+	}
+	for i := mid; i < len(kvs); i++ {
+		if string(it.Key()) != kvs[i][0] {
+			t.Fatalf("at %d: got %q want %q", i, it.Key(), kvs[i][0])
+		}
+		it.Next()
+	}
+	if it.Valid() {
+		t.Fatal("should be exhausted")
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	fs := storage.NewMemFS()
+	meta := buildTable(t, fs, "t", WriterOptions{}, nil)
+	if meta.Entries != 0 || meta.DataBlocks != 0 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	r := openTable(t, fs, "t")
+	defer r.Close()
+	if r.NewIter().First() {
+		t.Fatal("empty table yielded entry")
+	}
+	if r.Largest() != nil {
+		t.Fatal("Largest should be nil")
+	}
+	if s, err := r.Smallest(); err != nil || s != nil {
+		t.Fatalf("Smallest = %q, %v", s, err)
+	}
+}
+
+func TestSingleEntryTable(t *testing.T) {
+	fs := storage.NewMemFS()
+	buildTable(t, fs, "t", WriterOptions{}, [][2]string{{"k", "v"}})
+	r := openTable(t, fs, "t")
+	defer r.Close()
+	sm, err := r.Smallest()
+	if err != nil || string(sm) != "k" {
+		t.Fatalf("Smallest = %q, %v", sm, err)
+	}
+	if string(r.Largest()) != "k" {
+		t.Fatalf("Largest = %q", r.Largest())
+	}
+	k, v, ok, err := r.Get([]byte("k"))
+	if err != nil || !ok || string(k) != "k" || string(v) != "v" {
+		t.Fatalf("Get = %q %q %v %v", k, v, ok, err)
+	}
+	if _, _, ok, _ := r.Get([]byte("z")); ok {
+		t.Fatal("Get past end should miss")
+	}
+}
+
+func TestRawBlockStepHelpers(t *testing.T) {
+	// Exercise the per-step helpers the compaction pipeline uses: S1 read
+	// raw, S2 verify, S3 decompress; S5 compress, S6 checksum.
+	fs := storage.NewMemFS()
+	kvs := genKVs(1000, 100, 4)
+	buildTable(t, fs, "t", WriterOptions{}, kvs)
+	r := openTable(t, fs, "t")
+	defer r.Close()
+
+	total := 0
+	for _, e := range r.IndexEntries() {
+		physical, err := r.ReadRaw(nil, e.Handle) // S1
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := VerifyBlockChecksum(physical) // S2
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := DecompressBlock(nil, payload) // S3
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-seal (S5+S6) and verify the new physical block opens to the
+		// same plain bytes.
+		resealed := SealBlock(nil, plain, compress.MustByKind(compress.Snappy))
+		plain2, err := OpenBlock(nil, resealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain, plain2) {
+			t.Fatal("re-seal round trip mismatch")
+		}
+		total++
+	}
+	if total != r.NumBlocks() {
+		t.Fatalf("visited %d blocks, want %d", total, r.NumBlocks())
+	}
+}
+
+func TestIncompressibleBlockStoredRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	plain := make([]byte, 4096)
+	rng.Read(plain)
+	sealed := SealBlock(nil, plain, compress.MustByKind(compress.Snappy))
+	payload, err := VerifyBlockChecksum(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := compress.Kind(payload[len(payload)-1]); kind != compress.None {
+		t.Fatalf("incompressible block stored with codec %v", kind)
+	}
+	out, err := DecompressBlock(nil, payload)
+	if err != nil || !bytes.Equal(out, plain) {
+		t.Fatal("raw fallback round trip failed")
+	}
+}
+
+func TestCorruptBlockDetected(t *testing.T) {
+	fs := storage.NewMemFS()
+	kvs := genKVs(200, 50, 6)
+	buildTable(t, fs, "t", WriterOptions{}, kvs)
+
+	data, _ := storage.ReadAll(fs, "t")
+	// Flip a byte inside the first data block.
+	mut := append([]byte{}, data...)
+	mut[10] ^= 0xff
+	if err := storage.WriteFile(fs, "bad", mut); err != nil {
+		t.Fatal(err)
+	}
+	r := openTable(t, fs, "bad")
+	defer r.Close()
+	it := r.NewIter()
+	if it.First() {
+		// First block is corrupt; iterator must surface an error, not data.
+		t.Fatal("corrupt block yielded entries")
+	}
+	if it.Err() == nil {
+		t.Fatal("expected checksum error")
+	}
+}
+
+func TestCorruptFooterRejected(t *testing.T) {
+	fs := storage.NewMemFS()
+	buildTable(t, fs, "t", WriterOptions{}, [][2]string{{"a", "1"}})
+	data, _ := storage.ReadAll(fs, "t")
+
+	for name, mangle := range map[string]func([]byte) []byte{
+		"truncated":  func(d []byte) []byte { return d[:len(d)-10] },
+		"bad magic":  func(d []byte) []byte { d = append([]byte{}, d...); d[len(d)-1] ^= 0xff; return d },
+		"tiny":       func(d []byte) []byte { return d[:5] },
+		"bad handle": func(d []byte) []byte { d = append([]byte{}, d...); d[len(d)-FooterLen] = 0xff; return d },
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := storage.WriteFile(fs, "bad-"+name, mangle(data)); err != nil {
+				t.Fatal(err)
+			}
+			f, err := fs.Open("bad-" + name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := NewReader(f, nil); err == nil {
+				t.Fatal("mangled table opened without error")
+			}
+		})
+	}
+}
+
+func TestHandleRoundTripQuick(t *testing.T) {
+	f := func(off, length uint32) bool {
+		h := BlockHandle{Offset: int64(off), Length: int64(length)}
+		enc := h.EncodeTo(nil)
+		got, rest, err := DecodeHandle(enc)
+		return err == nil && len(rest) == 0 && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawWriterRejectsAfterFinish(t *testing.T) {
+	fs := storage.NewMemFS()
+	f, _ := fs.Create("t")
+	w := NewRawWriter(f, nil)
+	sealed := SealBlock(nil, []byte{0, 0, 0, 0, 1, 0, 0, 0}, compress.MustByKind(compress.None))
+	if err := w.AddSealedBlock([]byte("a"), []byte("a"), sealed, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddSealedBlock([]byte("b"), []byte("b"), sealed, 1); err == nil {
+		t.Fatal("AddSealedBlock after Finish should fail")
+	}
+	if _, err := w.Finish(); err == nil {
+		t.Fatal("double Finish should fail")
+	}
+}
+
+func TestReadRawBadHandle(t *testing.T) {
+	fs := storage.NewMemFS()
+	buildTable(t, fs, "t", WriterOptions{}, [][2]string{{"a", "1"}})
+	r := openTable(t, fs, "t")
+	defer r.Close()
+	for _, h := range []BlockHandle{
+		{Offset: -1, Length: 10},
+		{Offset: 0, Length: 2},
+		{Offset: 1 << 40, Length: 10},
+		{Offset: 0, Length: 1 << 40},
+	} {
+		if _, err := r.ReadRaw(nil, h); err == nil {
+			t.Errorf("handle %+v should be rejected", h)
+		}
+	}
+}
+
+func TestBlockSizeRespected(t *testing.T) {
+	fs := storage.NewMemFS()
+	kvs := genKVs(1000, 100, 7)
+	buildTable(t, fs, "small", WriterOptions{BlockSize: 1 << 10, Codec: compress.MustByKind(compress.None)}, kvs)
+	buildTable(t, fs, "large", WriterOptions{BlockSize: 16 << 10, Codec: compress.MustByKind(compress.None)}, kvs)
+	rs := openTable(t, fs, "small")
+	rl := openTable(t, fs, "large")
+	defer rs.Close()
+	defer rl.Close()
+	if rs.NumBlocks() <= rl.NumBlocks()*4 {
+		t.Fatalf("block size had no effect: %d vs %d blocks", rs.NumBlocks(), rl.NumBlocks())
+	}
+}
+
+func BenchmarkWriter4KBlocks(b *testing.B) {
+	fs := storage.NewMemFS()
+	kvs := genKVs(10000, 100, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _ := fs.Create(fmt.Sprintf("t%d", i))
+		w := NewWriter(f, WriterOptions{})
+		for _, kv := range kvs {
+			w.Add([]byte(kv[0]), []byte(kv[1]))
+		}
+		w.Finish()
+		f.Close()
+	}
+}
+
+func BenchmarkIterFullScan(b *testing.B) {
+	fs := storage.NewMemFS()
+	kvs := genKVs(10000, 100, 9)
+	var n int64
+	for _, kv := range kvs {
+		n += int64(len(kv[0]) + len(kv[1]))
+	}
+	f, _ := fs.Create("t")
+	w := NewWriter(f, WriterOptions{})
+	for _, kv := range kvs {
+		w.Add([]byte(kv[0]), []byte(kv[1]))
+	}
+	w.Finish()
+	f.Close()
+	rf, _ := fs.Open("t")
+	r, err := NewReader(rf, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := r.NewIter()
+		for ok := it.First(); ok; ok = it.Next() {
+		}
+		if it.Err() != nil {
+			b.Fatal(it.Err())
+		}
+	}
+}

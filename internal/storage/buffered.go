@@ -1,0 +1,94 @@
+package storage
+
+import "fmt"
+
+// BufferedFile wraps a File with write buffering: appends accumulate in
+// memory and reach the underlying file in chunks of at least flushSize.
+// This mirrors how a real store writes tables and logs (through a buffered
+// writer / page cache), so simulated devices see realistic I/O sizes
+// instead of one request per 4 KiB block.
+//
+// ReadAt flushes first, so reads always observe written data. Not safe for
+// concurrent writers (the store never shares an output file).
+type BufferedFile struct {
+	f    File
+	buf  []byte
+	size int
+}
+
+// DefaultFlushSize is the default write-coalescing threshold.
+const DefaultFlushSize = 256 << 10
+
+// NewBufferedFile wraps f. flushSize <= 0 selects DefaultFlushSize.
+func NewBufferedFile(f File, flushSize int) *BufferedFile {
+	if flushSize <= 0 {
+		flushSize = DefaultFlushSize
+	}
+	return &BufferedFile{f: f, size: flushSize, buf: make([]byte, 0, flushSize)}
+}
+
+// Write buffers p, flushing whole chunks as the buffer fills.
+func (b *BufferedFile) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		n := copy(b.buf[len(b.buf):cap(b.buf)], p)
+		b.buf = b.buf[:len(b.buf)+n]
+		p = p[n:]
+		if len(b.buf) == cap(b.buf) {
+			if err := b.Flush(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+// Flush forces buffered bytes down to the file.
+func (b *BufferedFile) Flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	n, err := b.f.Write(b.buf)
+	if err != nil {
+		return err
+	}
+	if n != len(b.buf) {
+		return fmt.Errorf("storage: short buffered flush: %d of %d", n, len(b.buf))
+	}
+	b.buf = b.buf[:0]
+	return nil
+}
+
+// ReadAt flushes and reads through.
+func (b *BufferedFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := b.Flush(); err != nil {
+		return 0, err
+	}
+	return b.f.ReadAt(p, off)
+}
+
+// Sync flushes and syncs the underlying file.
+func (b *BufferedFile) Sync() error {
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	return b.f.Sync()
+}
+
+// Close flushes and closes.
+func (b *BufferedFile) Close() error {
+	if err := b.Flush(); err != nil {
+		b.f.Close()
+		return err
+	}
+	return b.f.Close()
+}
+
+// Size returns the logical size including buffered bytes.
+func (b *BufferedFile) Size() (int64, error) {
+	sz, err := b.f.Size()
+	if err != nil {
+		return 0, err
+	}
+	return sz + int64(len(b.buf)), nil
+}

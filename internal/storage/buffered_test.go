@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pcplsm/internal/device"
+)
+
+// nullDevices returns n zero-cost simulated devices.
+func nullDevices(n int) []*device.Device {
+	devs := make([]*device.Device, n)
+	for i := range devs {
+		devs[i] = device.New(device.Null(), 0)
+	}
+	return devs
+}
+
+func TestBufferedFileRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	raw, _ := fs.Create("b")
+	f := NewBufferedFile(raw, 64)
+
+	var want bytes.Buffer
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		chunk := make([]byte, rng.Intn(50))
+		rng.Read(chunk)
+		want.Write(chunk)
+		if _, err := f.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Size includes buffered bytes before any flush.
+	if sz, err := f.Size(); err != nil || sz != int64(want.Len()) {
+		t.Fatalf("Size = %d, %v; want %d", sz, err, want.Len())
+	}
+	// ReadAt flushes and reads through.
+	got := make([]byte, want.Len())
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("read-through mismatch")
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := ReadAll(fs, "b")
+	if !bytes.Equal(final, want.Bytes()) {
+		t.Fatal("close did not flush remaining bytes")
+	}
+}
+
+func TestBufferedFileLargeSingleWrite(t *testing.T) {
+	fs := NewMemFS()
+	raw, _ := fs.Create("b")
+	f := NewBufferedFile(raw, 16)
+	big := bytes.Repeat([]byte{7}, 1000) // far larger than the buffer
+	if n, err := f.Write(big); err != nil || n != 1000 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ReadAll(fs, "b")
+	if !bytes.Equal(got, big) {
+		t.Fatal("large write mangled")
+	}
+}
+
+func TestBufferedFileWriteFailurePropagates(t *testing.T) {
+	inner := NewMemFS()
+	fault := NewFaultFS(inner)
+	raw, err := fault.Create("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewBufferedFile(raw, 8)
+	fault.Arm(FaultWrite, 1, true)
+	// Small writes buffer fine; the flush must surface the fault.
+	f.Write([]byte("1234"))
+	if _, err := f.Write(bytes.Repeat([]byte{'x'}, 32)); err == nil {
+		t.Fatal("flush failure not propagated through Write")
+	}
+}
+
+func TestStripedWriteReadBytes(t *testing.T) {
+	// Striped reads/writes across devices return exactly the right bytes.
+	fsInner := NewMemFS()
+	fs := NewSimFS(fsInner, nullDevices(3), PlaceStripe, 1024)
+	f, _ := fs.Create("s")
+	payload := make([]byte, 10_000)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	f.Write(payload)
+	f.Close()
+	r, _ := fs.Open("s")
+	defer r.Close()
+	got := make([]byte, len(payload))
+	if _, err := r.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("striped round trip mismatch")
+	}
+	// Partial read at an unaligned offset.
+	part := make([]byte, 777)
+	if _, err := r.ReadAt(part, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part, payload[3000:3777]) {
+		t.Fatal("unaligned striped read mismatch")
+	}
+}

@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the error FaultFS returns when a fault fires.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultFS wraps an FS and injects failures, for exercising error paths:
+// flush failures surfacing as background errors, compactions aborting
+// cleanly, recovery after partial writes. Faults are armed by operation
+// kind with a countdown: the Nth matching operation fails (and keeps
+// failing until disarmed).
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	armed  map[FaultOp]*faultState
+	writes atomic.Int64
+}
+
+// FaultOp selects which operation class a fault applies to.
+type FaultOp int
+
+// Fault classes.
+const (
+	FaultCreate FaultOp = iota
+	FaultOpen
+	FaultWrite
+	FaultSync
+	FaultRemove
+	FaultRename
+)
+
+type faultState struct {
+	countdown int64 // fail when it reaches zero
+	sticky    bool  // keep failing after the first hit
+	hits      int64
+}
+
+// NewFaultFS wraps inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, armed: map[FaultOp]*faultState{}}
+}
+
+// Arm makes the n-th next operation of kind op fail (n=1 means the next
+// one). If sticky, every subsequent matching operation fails too.
+func (f *FaultFS) Arm(op FaultOp, n int, sticky bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed[op] = &faultState{countdown: int64(n), sticky: sticky}
+}
+
+// Disarm clears a fault.
+func (f *FaultFS) Disarm(op FaultOp) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.armed, op)
+}
+
+// Hits returns how many times a fault of kind op has fired.
+func (f *FaultFS) Hits(op FaultOp) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if st, ok := f.armed[op]; ok {
+		return st.hits
+	}
+	return 0
+}
+
+// check returns ErrInjected when the fault for op fires.
+func (f *FaultFS) check(op FaultOp) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.armed[op]
+	if !ok {
+		return nil
+	}
+	st.countdown--
+	if st.countdown > 0 {
+		return nil
+	}
+	if st.countdown < 0 && !st.sticky {
+		return nil
+	}
+	st.hits++
+	return ErrInjected
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.check(FaultCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// Open implements FS.
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.check(FaultOpen); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check(FaultRemove); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.check(FaultRename); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// List implements FS.
+func (f *FaultFS) List() ([]string, error) { return f.inner.List() }
+
+// Size implements FS.
+func (f *FaultFS) Size(name string) (int64, error) { return f.inner.Size(name) }
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.check(FaultWrite); err != nil {
+		return 0, err
+	}
+	f.fs.writes.Add(1)
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.check(FaultSync); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+func (f *faultFile) Size() (int64, error) { return f.inner.Size() }

@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultFSPassthrough(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	if err := WriteFile(fs, "a", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(fs, "a")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	names, err := fs.List()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if sz, err := fs.Size("a"); err != nil || sz != 4 {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+}
+
+func TestFaultCountdown(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	fs.Arm(FaultCreate, 3, false) // third create fails
+
+	for i, want := range []bool{true, true, false, true} {
+		_, err := fs.Create(string(rune('a' + i)))
+		if (err == nil) != want {
+			t.Fatalf("create %d: err=%v, want ok=%v", i, err, want)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("wrong error type: %v", err)
+		}
+	}
+	if fs.Hits(FaultCreate) != 1 {
+		t.Fatalf("Hits = %d", fs.Hits(FaultCreate))
+	}
+}
+
+func TestStickyFault(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, err := fs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(FaultWrite, 2, true)
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatal("first write should pass")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("more")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sticky write %d: %v", i, err)
+		}
+	}
+	fs.Disarm(FaultWrite)
+	if _, err := f.Write([]byte("after")); err != nil {
+		t.Fatalf("disarmed write failed: %v", err)
+	}
+}
+
+func TestSyncAndRenameFaults(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, _ := fs.Create("s")
+	fs.Arm(FaultSync, 1, false)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync fault: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	fs.Arm(FaultRename, 1, false)
+	if err := fs.Rename("s", "t"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename fault: %v", err)
+	}
+	if err := fs.Rename("s", "t"); err != nil {
+		t.Fatalf("second rename: %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// OSFS is an FS rooted at a real directory, for running the store and the
+// experiments against actual storage hardware.
+type OSFS struct {
+	root string
+}
+
+// NewOSFS returns an FS rooted at dir, creating it if necessary.
+func NewOSFS(dir string) (*OSFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating root: %w", err)
+	}
+	return &OSFS{root: dir}, nil
+}
+
+func (o *OSFS) path(name string) string { return filepath.Join(o.root, name) }
+
+// Create implements FS.
+func (o *OSFS) Create(name string) (File, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(o.path(name), os.O_CREATE|os.O_EXCL|os.O_APPEND|os.O_RDWR, 0o644)
+	if err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("%w: %s", ErrExist, name)
+		}
+		return nil, err
+	}
+	return &osFile{f: f}, nil
+}
+
+// Open implements FS.
+func (o *OSFS) Open(name string) (File, error) {
+	// Open read-write with append so journal files (manifest, WAL) can be
+	// reopened and continued; table files are only ever read.
+	f, err := os.OpenFile(o.path(name), os.O_RDWR|os.O_APPEND, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		return nil, err
+	}
+	return &osFile{f: f}, nil
+}
+
+// Remove implements FS.
+func (o *OSFS) Remove(name string) error {
+	err := os.Remove(o.path(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return err
+}
+
+// Rename implements FS.
+func (o *OSFS) Rename(oldname, newname string) error {
+	if err := validateName(newname); err != nil {
+		return err
+	}
+	err := os.Rename(o.path(oldname), o.path(newname))
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldname)
+	}
+	return err
+}
+
+// List implements FS.
+func (o *OSFS) List() ([]string, error) {
+	ents, err := os.ReadDir(o.root)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Size implements FS.
+func (o *OSFS) Size(name string) (int64, error) {
+	st, err := os.Stat(o.path(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+type osFile struct {
+	f *os.File
+}
+
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *osFile) Write(p []byte) (int, error)             { return f.f.Write(p) }
+func (f *osFile) Sync() error                             { return f.f.Sync() }
+func (f *osFile) Close() error                            { return f.f.Close() }
+func (f *osFile) Size() (int64, error) {
+	st, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

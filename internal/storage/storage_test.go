@@ -1,0 +1,386 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pcplsm/internal/device"
+)
+
+// fsFactories enumerates every FS implementation under test.
+func fsFactories(t *testing.T) map[string]func() FS {
+	return map[string]func() FS{
+		"memfs": func() FS { return NewMemFS() },
+		"osfs": func() FS {
+			o, err := NewOSFS(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o
+		},
+		"simfs-1dev": func() FS {
+			return NewSimFS(NewMemFS(), []*device.Device{device.New(device.Null(), 0)}, PlaceByFile, 0)
+		},
+		"simfs-stripe": func() FS {
+			devs := []*device.Device{
+				device.New(device.Null(), 0),
+				device.New(device.Null(), 0),
+				device.New(device.Null(), 0),
+			}
+			return NewSimFS(NewMemFS(), devs, PlaceStripe, 4096)
+		},
+	}
+}
+
+func TestFSConformance(t *testing.T) {
+	for name, mk := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			fs := mk()
+
+			// Create + write + read back.
+			f, err := fs.Create("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("hello ")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("world")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if sz, err := f.Size(); err != nil || sz != 11 {
+				t.Fatalf("Size = %d, %v", sz, err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Duplicate create fails.
+			if _, err := fs.Create("a"); err == nil {
+				t.Fatal("duplicate Create should fail")
+			}
+
+			// Open + positional reads.
+			r, err := fs.Open("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 5)
+			if _, err := r.ReadAt(buf, 6); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(buf) != "world" {
+				t.Fatalf("ReadAt = %q", buf)
+			}
+			// Read past EOF.
+			if n, err := r.ReadAt(buf, 100); err != io.EOF || n != 0 {
+				t.Fatalf("past-EOF read: n=%d err=%v", n, err)
+			}
+			// Short read at the tail returns EOF with partial data.
+			big := make([]byte, 20)
+			n, err := r.ReadAt(big, 6)
+			if n != 5 || err != io.EOF {
+				t.Fatalf("tail read: n=%d err=%v", n, err)
+			}
+			r.Close()
+
+			// Open missing file.
+			if _, err := fs.Open("missing"); err == nil {
+				t.Fatal("Open(missing) should fail")
+			}
+			if _, err := fs.Size("missing"); err == nil {
+				t.Fatal("Size(missing) should fail")
+			}
+
+			// Rename and List.
+			if err := fs.Rename("a", "b"); err != nil {
+				t.Fatal(err)
+			}
+			if Exists(fs, "a") || !Exists(fs, "b") {
+				t.Fatal("rename did not move the file")
+			}
+			names, err := fs.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(names)
+			if len(names) != 1 || names[0] != "b" {
+				t.Fatalf("List = %v", names)
+			}
+
+			// Size by name.
+			if sz, err := fs.Size("b"); err != nil || sz != 11 {
+				t.Fatalf("Size(b) = %d, %v", sz, err)
+			}
+
+			// Remove.
+			if err := fs.Remove("b"); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Remove("b"); err == nil {
+				t.Fatal("double Remove should fail")
+			}
+
+			// Invalid names.
+			if _, err := fs.Create(""); err == nil {
+				t.Fatal("empty name should fail")
+			}
+			if _, err := fs.Create("x/y"); err == nil {
+				t.Fatal("name with separator should fail")
+			}
+		})
+	}
+}
+
+func TestReadAllWriteFile(t *testing.T) {
+	for name, mk := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			fs := mk()
+			payload := bytes.Repeat([]byte("xyz"), 1000)
+			if err := WriteFile(fs, "f", payload); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadAll(fs, "f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("round trip mismatch")
+			}
+			// WriteFile replaces.
+			if err := WriteFile(fs, "f", []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = ReadAll(fs, "f")
+			if string(got) != "new" {
+				t.Fatalf("after replace: %q", got)
+			}
+		})
+	}
+}
+
+func TestReadAllEmptyFile(t *testing.T) {
+	fs := NewMemFS()
+	if err := WriteFile(fs, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(fs, "empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("ReadAll(empty) = %v, %v", got, err)
+	}
+}
+
+// TestMemFSRandomOps drives MemFS against a reference map with random
+// operation sequences.
+func TestMemFSRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := NewMemFS()
+		ref := map[string][]byte{}
+		names := []string{"a", "b", "c", "d"}
+		for step := 0; step < 200; step++ {
+			n := names[rng.Intn(len(names))]
+			switch rng.Intn(4) {
+			case 0: // create+write
+				if _, ok := ref[n]; ok {
+					if _, err := fs.Create(n); err == nil {
+						return false
+					}
+					continue
+				}
+				f, err := fs.Create(n)
+				if err != nil {
+					return false
+				}
+				data := make([]byte, rng.Intn(100))
+				rng.Read(data)
+				f.Write(data)
+				f.Close()
+				ref[n] = data
+			case 1: // read
+				data, ok := ref[n]
+				got, err := ReadAll(fs, n)
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && !bytes.Equal(got, data) {
+					return false
+				}
+			case 2: // remove
+				_, ok := ref[n]
+				err := fs.Remove(n)
+				if ok != (err == nil) {
+					return false
+				}
+				delete(ref, n)
+			case 3: // rename
+				m := names[rng.Intn(len(names))]
+				if m == n {
+					continue
+				}
+				_, ok := ref[n]
+				err := fs.Rename(n, m)
+				if ok != (err == nil) {
+					return false
+				}
+				if ok {
+					ref[m] = ref[n]
+					delete(ref, n)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSConcurrentReadersWriters(t *testing.T) {
+	fs := NewMemFS()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("file%d", i)
+			f, err := fs.Create(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 100; j++ {
+				f.Write([]byte("0123456789"))
+			}
+			f.Close()
+			got, err := ReadAll(fs, name)
+			if err != nil || len(got) != 1000 {
+				t.Errorf("file%d: %d bytes, %v", i, len(got), err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestSimFSChargesDevices(t *testing.T) {
+	dev := device.New(device.SSD(), 0)
+	fs := NewSimFS(NewMemFS(), []*device.Device{dev}, PlaceByFile, 0)
+	f, _ := fs.Create("t")
+	f.Write(make([]byte, 10000))
+	f.Close()
+	r, _ := fs.Open("t")
+	buf := make([]byte, 4000)
+	r.ReadAt(buf, 0)
+	r.Close()
+
+	s := dev.Stats()
+	if s.WriteBytes != 10000 {
+		t.Fatalf("WriteBytes = %d", s.WriteBytes)
+	}
+	if s.ReadBytes != 4000 {
+		t.Fatalf("ReadBytes = %d", s.ReadBytes)
+	}
+}
+
+func TestSimFSStripeSpreadsLoad(t *testing.T) {
+	devs := []*device.Device{
+		device.New(device.Null(), 0),
+		device.New(device.Null(), 0),
+		device.New(device.Null(), 0),
+		device.New(device.Null(), 0),
+	}
+	fs := NewSimFS(NewMemFS(), devs, PlaceStripe, 1024)
+	f, _ := fs.Create("t")
+	f.Write(make([]byte, 64*1024))
+	f.Close()
+
+	for i, d := range devs {
+		if got := d.Stats().WriteBytes; got != 16*1024 {
+			t.Errorf("device %d got %d bytes, want even 16384", i, got)
+		}
+	}
+}
+
+func TestSimFSByFileRoundRobin(t *testing.T) {
+	devs := []*device.Device{device.New(device.Null(), 0), device.New(device.Null(), 0)}
+	fs := NewSimFS(NewMemFS(), devs, PlaceByFile, 0)
+	for i := 0; i < 4; i++ {
+		f, err := fs.Create(fmt.Sprintf("f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write(make([]byte, 100))
+		f.Close()
+	}
+	b0 := devs[0].Stats().WriteBytes
+	b1 := devs[1].Stats().WriteBytes
+	if b0 != 200 || b1 != 200 {
+		t.Fatalf("round robin uneven: %d vs %d", b0, b1)
+	}
+}
+
+func TestSimFSRenameKeepsAssignment(t *testing.T) {
+	devs := []*device.Device{device.New(device.Null(), 0), device.New(device.Null(), 0)}
+	fs := NewSimFS(NewMemFS(), devs, PlaceByFile, 0)
+	f, _ := fs.Create("orig") // assigned to device 0
+	f.Write(make([]byte, 100))
+	f.Close()
+	if err := fs.Rename("orig", "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := fs.Open("renamed")
+	r.ReadAt(make([]byte, 100), 0)
+	r.Close()
+	if rb := devs[0].Stats().ReadBytes; rb != 100 {
+		t.Fatalf("read charged to wrong device: dev0 read %d bytes", rb)
+	}
+}
+
+func TestSimFSStripeParallelism(t *testing.T) {
+	// With k devices, a striped read of one large request should take ~1/k
+	// of the single-device time (each device transfers 1/k of the bytes
+	// concurrently).
+	mkDevs := func(k int) []*device.Device {
+		m := device.Model{Name: "t", ReadBandwidth: 100e6, WriteBandwidth: 100e6} // no latency
+		devs := make([]*device.Device, k)
+		for i := range devs {
+			devs[i] = device.New(m, 1.0)
+		}
+		return devs
+	}
+	timeRead := func(k int) time.Duration {
+		fs := NewSimFS(NewMemFS(), mkDevs(k), PlaceStripe, 64<<10)
+		f, _ := fs.Create("t")
+		f.Write(make([]byte, 4<<20))
+		f.Close()
+		r, _ := fs.Open("t")
+		defer r.Close()
+		start := time.Now()
+		r.ReadAt(make([]byte, 4<<20), 0)
+		return time.Since(start)
+	}
+	t1 := timeRead(1)
+	t4 := timeRead(4)
+	if t4 > t1*2/3 {
+		t.Fatalf("striping gave no speedup: 1 disk %v, 4 disks %v", t1, t4)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if PlaceStripe.String() != "stripe" || PlaceByFile.String() != "byfile" {
+		t.Fatal("placement names wrong")
+	}
+	if Placement(9).String() == "" {
+		t.Fatal("unknown placement should render")
+	}
+}

@@ -1,0 +1,239 @@
+// Package wal implements the write-ahead log that makes memtable writes
+// durable before they are acknowledged.
+//
+// The format follows LevelDB's log format: the file is a sequence of 32 KiB
+// blocks; each block holds records with a 7-byte header
+//
+//	checksum uint32 LE — masked CRC32-C of type byte + payload
+//	length   uint16 LE — payload length
+//	type     byte      — full / first / middle / last
+//
+// Payloads that do not fit in the current block are fragmented
+// (first/middle.../last); a block tail smaller than a header is zero-padded.
+// This bounds the damage of a torn write to one record and lets recovery
+// resynchronize on block boundaries.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pcplsm/internal/checksum"
+	"pcplsm/internal/storage"
+)
+
+// BlockSize is the log block size.
+const BlockSize = 32 << 10
+
+// headerSize is the per-record (or per-fragment) header size.
+const headerSize = 7
+
+// Record types.
+const (
+	typeZero   = 0 // padding / preallocated area
+	typeFull   = 1
+	typeFirst  = 2
+	typeMiddle = 3
+	typeLast   = 4
+)
+
+// ErrCorrupt reports a damaged log region.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Writer appends records to a log file.
+type Writer struct {
+	f        storage.File
+	blockOff int // offset within the current block
+	buf      []byte
+}
+
+// NewWriter returns a Writer that appends to f, which must be empty or
+// freshly created (the writer tracks block alignment from zero).
+func NewWriter(f storage.File) *Writer {
+	return &Writer{f: f}
+}
+
+// Append writes one record. The record is durable only after a successful
+// Sync; unsynced records live in the file system's write cache, like
+// LevelDB's non-sync writes.
+func (w *Writer) Append(rec []byte) error {
+	w.buf = w.buf[:0]
+	begin := true
+	for {
+		leftover := BlockSize - w.blockOff
+		if leftover < headerSize {
+			// Zero-pad the block tail.
+			w.buf = append(w.buf, make([]byte, leftover)...)
+			w.blockOff = 0
+			leftover = BlockSize
+		}
+		avail := leftover - headerSize
+		frag := len(rec)
+		if frag > avail {
+			frag = avail
+		}
+		end := frag == len(rec)
+		var t byte
+		switch {
+		case begin && end:
+			t = typeFull
+		case begin:
+			t = typeFirst
+		case end:
+			t = typeLast
+		default:
+			t = typeMiddle
+		}
+		w.buf = appendFragment(w.buf, t, rec[:frag])
+		w.blockOff += headerSize + frag
+		rec = rec[frag:]
+		begin = false
+		if end {
+			break
+		}
+	}
+	_, err := w.f.Write(w.buf)
+	return err
+}
+
+// appendFragment serializes one fragment with its header.
+func appendFragment(dst []byte, t byte, payload []byte) []byte {
+	crc := checksum.SumWithSeed(checksum.Sum([]byte{t}), payload)
+	dst = binary.LittleEndian.AppendUint32(dst, checksum.Mask(crc))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(payload)))
+	dst = append(dst, t)
+	return append(dst, payload...)
+}
+
+// Sync flushes the log to durable storage.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Close syncs and closes the underlying file.
+func (w *Writer) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader replays records from a log file.
+type Reader struct {
+	data []byte // entire log; WALs are bounded by the memtable size
+	off  int
+	rec  []byte
+}
+
+// NewReader reads the whole log into memory and returns a Reader positioned
+// at the first record. Recovery-time logs are at most one memtable large, so
+// slurping is fine and keeps resynchronization logic simple.
+func NewReader(fs storage.FS, name string) (*Reader, error) {
+	data, err := storage.ReadAll(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{data: data}, nil
+}
+
+// NewReaderBytes returns a Reader over an in-memory log image.
+func NewReaderBytes(data []byte) *Reader { return &Reader{data: data} }
+
+// Next returns the next complete record, io.EOF at the clean end of the log,
+// or an error wrapping ErrCorrupt at a damaged region. After a corruption
+// error the reader skips to the next block boundary, so callers may choose
+// to continue (salvaging later records) or stop (conservative recovery).
+func (r *Reader) Next() ([]byte, error) {
+	r.rec = r.rec[:0]
+	inFragmented := false
+	for {
+		blockLeft := BlockSize - r.off%BlockSize
+		if blockLeft < headerSize {
+			// Padding; skip to next block.
+			r.off += blockLeft
+			continue
+		}
+		if r.off+headerSize > len(r.data) {
+			if inFragmented {
+				return nil, fmt.Errorf("%w: log ends inside a fragmented record", ErrCorrupt)
+			}
+			return nil, io.EOF
+		}
+		hdr := r.data[r.off:]
+		stored := binary.LittleEndian.Uint32(hdr)
+		length := int(binary.LittleEndian.Uint16(hdr[4:]))
+		t := hdr[6]
+		if t == typeZero && length == 0 && stored == 0 {
+			// Preallocated/zeroed space marks the end of the log.
+			if inFragmented {
+				return nil, fmt.Errorf("%w: zeroed region inside a fragmented record", ErrCorrupt)
+			}
+			return nil, io.EOF
+		}
+		if headerSize+length > blockLeft || r.off+headerSize+length > len(r.data) {
+			r.skipToNextBlock()
+			return nil, fmt.Errorf("%w: fragment length %d overflows block", ErrCorrupt, length)
+		}
+		payload := r.data[r.off+headerSize : r.off+headerSize+length]
+		crc := checksum.SumWithSeed(checksum.Sum([]byte{t}), payload)
+		if checksum.Unmask(stored) != crc {
+			r.skipToNextBlock()
+			return nil, fmt.Errorf("%w: fragment checksum mismatch at offset %d", ErrCorrupt, r.off)
+		}
+		r.off += headerSize + length
+
+		switch t {
+		case typeFull:
+			if inFragmented {
+				return nil, fmt.Errorf("%w: full record inside a fragmented record", ErrCorrupt)
+			}
+			return append(r.rec, payload...), nil
+		case typeFirst:
+			if inFragmented {
+				return nil, fmt.Errorf("%w: nested first fragment", ErrCorrupt)
+			}
+			inFragmented = true
+			r.rec = append(r.rec, payload...)
+		case typeMiddle:
+			if !inFragmented {
+				return nil, fmt.Errorf("%w: middle fragment without first", ErrCorrupt)
+			}
+			r.rec = append(r.rec, payload...)
+		case typeLast:
+			if !inFragmented {
+				return nil, fmt.Errorf("%w: last fragment without first", ErrCorrupt)
+			}
+			return append(r.rec, payload...), nil
+		default:
+			r.skipToNextBlock()
+			return nil, fmt.Errorf("%w: unknown fragment type %d", ErrCorrupt, t)
+		}
+	}
+}
+
+// skipToNextBlock advances past the current block after corruption.
+func (r *Reader) skipToNextBlock() {
+	r.off += BlockSize - r.off%BlockSize
+}
+
+// ReadAllRecords replays every record until the clean end of the log. If the
+// tail is corrupt (torn write at crash), it returns the records recovered so
+// far together with the error.
+func ReadAllRecords(fs storage.FS, name string) ([][]byte, error) {
+	r, err := NewReader(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	var recs [][]byte
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, append([]byte(nil), rec...))
+	}
+}

@@ -1,0 +1,185 @@
+// Package workload generates the deterministic key-value workloads the
+// experiments run: insert-only streams with configurable key/value sizes
+// and key distributions, matching the paper's methodology (16-byte keys,
+// 100-byte values, fifty million inserts — scaled down by default).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Distribution selects how keys are drawn.
+type Distribution int
+
+const (
+	// Uniform draws keys uniformly from the key space (the paper's
+	// insert-only random load).
+	Uniform Distribution = iota
+	// Sequential emits strictly increasing keys (no overlap between
+	// flushed tables — the LSM best case).
+	Sequential
+	// Zipfian skews accesses toward a hot set (YCSB-style).
+	Zipfian
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Sequential:
+		return "sequential"
+	case Zipfian:
+		return "zipfian"
+	default:
+		return fmt.Sprintf("distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution maps a name to a Distribution.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform", "":
+		return Uniform, nil
+	case "sequential", "seq":
+		return Sequential, nil
+	case "zipfian", "zipf":
+		return Zipfian, nil
+	default:
+		return Uniform, fmt.Errorf("workload: unknown distribution %q", s)
+	}
+}
+
+// Config describes a workload.
+type Config struct {
+	// Entries is the number of operations to generate.
+	Entries int
+	// KeySize is the key length in bytes (minimum 8; default 16, the
+	// paper's setting).
+	KeySize int
+	// ValueSize is the value length in bytes (default 100).
+	ValueSize int
+	// KeySpace bounds distinct keys (default 4 × Entries: mostly-unique
+	// inserts with occasional overwrites, like the paper's load).
+	KeySpace int
+	// Dist selects the key distribution.
+	Dist Distribution
+	// Seed makes the stream reproducible.
+	Seed int64
+	// ValueCompressibility in [0,1]: fraction of each value that is
+	// zero-filled (compressible). 0.5 gives snappy roughly the ~2× ratio
+	// seen on real key-value payloads.
+	ValueCompressibility float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeySize < 8 {
+		if c.KeySize == 0 {
+			c.KeySize = 16
+		} else {
+			c.KeySize = 8
+		}
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 100
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 4 * c.Entries
+		if c.KeySpace == 0 {
+			c.KeySpace = 1 << 20
+		}
+	}
+	if c.ValueCompressibility == 0 {
+		c.ValueCompressibility = 0.5
+	}
+	return c
+}
+
+// Generator produces a deterministic stream of key-value pairs. Not safe
+// for concurrent use; create one per goroutine with distinct seeds.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	i    int
+	key  []byte
+	val  []byte
+}
+
+// New returns a generator for cfg.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		key: make([]byte, cfg.KeySize),
+		val: make([]byte, cfg.ValueSize),
+	}
+	if cfg.Dist == Zipfian {
+		g.zipf = rand.NewZipf(g.rng, 1.1, 1, uint64(cfg.KeySpace-1))
+	}
+	return g
+}
+
+// Remaining returns how many operations are left.
+func (g *Generator) Remaining() int { return g.cfg.Entries - g.i }
+
+// Next returns the next key/value pair, or ok=false when the stream ends.
+// The returned slices are reused by the next call.
+func (g *Generator) Next() (key, value []byte, ok bool) {
+	if g.i >= g.cfg.Entries {
+		return nil, nil, false
+	}
+	var n uint64
+	switch g.cfg.Dist {
+	case Sequential:
+		n = uint64(g.i)
+	case Zipfian:
+		n = g.zipf.Uint64()
+	default:
+		n = uint64(g.rng.Intn(g.cfg.KeySpace))
+	}
+	g.fillKey(n)
+	g.fillValue()
+	g.i++
+	return g.key, g.val, true
+}
+
+// fillKey renders n as a fixed-width decimal key, zero-padded to KeySize.
+// Fixed-width decimal keeps keys ordered and realistic ("user0000001234").
+func (g *Generator) fillKey(n uint64) {
+	const prefix = "user"
+	k := g.key[:0]
+	k = append(k, prefix...)
+	digits := g.cfg.KeySize - len(prefix)
+	s := fmt.Sprintf("%0*d", digits, n)
+	// If n overflows the width, keep the least-significant digits: still
+	// deterministic and fixed-width.
+	if len(s) > digits {
+		s = s[len(s)-digits:]
+	}
+	g.key = append(k, s...)
+}
+
+// fillValue produces a value that compresses according to the configured
+// ratio: a random head and a zero tail.
+func (g *Generator) fillValue() {
+	randomLen := int(float64(len(g.val)) * (1 - g.cfg.ValueCompressibility))
+	g.rng.Read(g.val[:randomLen])
+	for i := randomLen; i < len(g.val); i++ {
+		g.val[i] = 0
+	}
+}
+
+// EntryBytes returns the logical size of one entry.
+func (c Config) EntryBytes() int {
+	c = c.withDefaults()
+	return c.KeySize + c.ValueSize
+}
+
+// TotalBytes returns the logical volume of the whole stream.
+func (c Config) TotalBytes() int64 {
+	c = c.withDefaults()
+	return int64(c.Entries) * int64(c.EntryBytes())
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"pcplsm/internal/compress"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Entries: 1000, Seed: 7}
+	a, b := New(cfg), New(cfg)
+	for {
+		k1, v1, ok1 := a.Next()
+		k2, v2, ok2 := b.Next()
+		if ok1 != ok2 {
+			t.Fatal("streams diverge in length")
+		}
+		if !ok1 {
+			break
+		}
+		if !bytes.Equal(k1, k2) || !bytes.Equal(v1, v2) {
+			t.Fatal("streams diverge in content")
+		}
+	}
+}
+
+func TestSizesRespected(t *testing.T) {
+	for _, ks := range []int{8, 16, 64} {
+		for _, vs := range []int{1, 100, 1024} {
+			g := New(Config{Entries: 50, KeySize: ks, ValueSize: vs, Seed: 1})
+			for {
+				k, v, ok := g.Next()
+				if !ok {
+					break
+				}
+				if len(k) != ks || len(v) != vs {
+					t.Fatalf("key/value sizes %d/%d, want %d/%d", len(k), len(v), ks, vs)
+				}
+			}
+		}
+	}
+}
+
+func TestEntryCount(t *testing.T) {
+	g := New(Config{Entries: 123, Seed: 1})
+	n := 0
+	for {
+		if _, _, ok := g.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 123 {
+		t.Fatalf("generated %d entries, want 123", n)
+	}
+	if g.Remaining() != 0 {
+		t.Fatal("Remaining should be 0")
+	}
+}
+
+func TestSequentialKeysAscend(t *testing.T) {
+	g := New(Config{Entries: 500, Dist: Sequential, Seed: 1})
+	var prev []byte
+	for {
+		k, _, ok := g.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(k, prev) <= 0 {
+			t.Fatalf("sequential keys not ascending: %q after %q", k, prev)
+		}
+		prev = append(prev[:0], k...)
+	}
+}
+
+func TestUniformSpreads(t *testing.T) {
+	g := New(Config{Entries: 5000, KeySpace: 1000, Seed: 3})
+	seen := map[string]bool{}
+	for {
+		k, _, ok := g.Next()
+		if !ok {
+			break
+		}
+		seen[string(k)] = true
+	}
+	if len(seen) < 900 {
+		t.Fatalf("uniform over 1000 keys hit only %d distinct", len(seen))
+	}
+}
+
+func TestZipfianSkews(t *testing.T) {
+	g := New(Config{Entries: 10000, KeySpace: 10000, Dist: Zipfian, Seed: 4})
+	counts := map[string]int{}
+	for {
+		k, _, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[string(k)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Fatalf("zipfian hottest key only %d hits; not skewed", max)
+	}
+	if len(counts) < 100 {
+		t.Fatalf("zipfian produced only %d distinct keys", len(counts))
+	}
+}
+
+func TestValueCompressibility(t *testing.T) {
+	ratio := func(comp float64) float64 {
+		g := New(Config{Entries: 1, ValueSize: 4096, ValueCompressibility: comp, Seed: 5})
+		_, v, _ := g.Next()
+		enc := compress.SnappyEncode(nil, v)
+		return float64(len(enc)) / float64(len(v))
+	}
+	rHigh := ratio(0.9) // mostly zeros → compresses hard
+	rLow := ratio(0.1)  // mostly random → barely compresses
+	if rHigh > 0.4 {
+		t.Fatalf("0.9-compressible value compressed only to %.2f", rHigh)
+	}
+	if rLow < 0.8 {
+		t.Fatalf("0.1-compressible value compressed to %.2f; too easy", rLow)
+	}
+}
+
+func TestKeyWidthOverflowKeepsWidth(t *testing.T) {
+	g := New(Config{Entries: 10, KeySize: 8, KeySpace: 1 << 30, Seed: 6})
+	for {
+		k, _, ok := g.Next()
+		if !ok {
+			break
+		}
+		if len(k) != 8 {
+			t.Fatalf("key %q has %d bytes", k, len(k))
+		}
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for s, want := range map[string]Distribution{
+		"uniform": Uniform, "": Uniform, "sequential": Sequential,
+		"seq": Sequential, "zipfian": Zipfian, "zipf": Zipfian,
+	} {
+		got, err := ParseDistribution(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseDistribution(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseDistribution("latest"); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if Uniform.String() != "uniform" || Sequential.String() != "sequential" || Zipfian.String() != "zipfian" {
+		t.Fatal("distribution names")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	cfg := Config{Entries: 100, KeySize: 16, ValueSize: 100}
+	if cfg.EntryBytes() != 116 || cfg.TotalBytes() != 11600 {
+		t.Fatalf("EntryBytes=%d TotalBytes=%d", cfg.EntryBytes(), cfg.TotalBytes())
+	}
+}

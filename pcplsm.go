@@ -1,0 +1,276 @@
+// Package pcplsm is an LSM-tree key-value store with pipelined compaction,
+// reproducing "Pipelined Compaction for the LSM-tree" (Zhang et al.,
+// IPDPS 2014).
+//
+// The store is a LevelDB-style tree (memtable + WAL + leveled SSTables)
+// whose background compaction engine is pluggable:
+//
+//   - SCP    — the conventional Sequential Compaction Procedure;
+//   - PCP    — the paper's three-stage pipeline (read / compute / write);
+//   - C-PPCP — PCP with a parallel compute stage (k cores);
+//   - S-PPCP — PCP with parallel I/O stages (k disks).
+//
+// Storage can be a directory on the real file system, plain memory, or a
+// simulated device (HDD/SSD/NVMe models with seek costs, bandwidth curves
+// and per-device queueing) so the paper's I/O-bound vs CPU-bound regimes
+// are reproducible on any machine.
+//
+// Quick start:
+//
+//	db, err := pcplsm.Open(pcplsm.Options{})            // in-memory
+//	db, err := pcplsm.Open(pcplsm.Options{Dir: "/data"}) // on disk
+//	err = db.Put([]byte("k"), []byte("v"))
+//	v, err := db.Get([]byte("k"))
+package pcplsm
+
+import (
+	"errors"
+	"fmt"
+
+	"pcplsm/internal/compress"
+	"pcplsm/internal/core"
+	"pcplsm/internal/device"
+	"pcplsm/internal/lsm"
+	"pcplsm/internal/storage"
+)
+
+// Errors re-exported from the engine.
+var (
+	// ErrNotFound is returned by Get for missing keys.
+	ErrNotFound = lsm.ErrNotFound
+	// ErrClosed is returned by operations on a closed DB.
+	ErrClosed = lsm.ErrClosed
+	// ErrSnapshotReleased is returned by reads on a released Snapshot.
+	ErrSnapshotReleased = lsm.ErrSnapshotReleased
+)
+
+// Re-exported engine types. Batch collects atomic multi-key writes;
+// Iterator scans a snapshot in key order; Stats carries cumulative
+// counters including the compaction step breakdown; Snapshot is a pinned
+// point-in-time read view (Release it when done).
+type (
+	Batch    = lsm.Batch
+	Iterator = lsm.Iterator
+	Stats    = lsm.Stats
+	Snapshot = lsm.Snapshot
+)
+
+// Compaction selects and tunes the compaction procedure.
+type Compaction struct {
+	// Mode is "scp" or "pcp" (default "pcp").
+	Mode string
+	// SubtaskBytes is the target input size per pipeline sub-task
+	// (default 512 KiB, the paper's sweet spot).
+	SubtaskBytes int
+	// QueueDepth bounds the inter-stage queues (default 2).
+	QueueDepth int
+	// ComputeWorkers parallelizes the compute stage (C-PPCP when > 1).
+	ComputeWorkers int
+	// IOWorkers parallelizes the read and write stages (S-PPCP when > 1).
+	IOWorkers int
+}
+
+// SimulatedStorage configures device emulation.
+type SimulatedStorage struct {
+	// Device is "hdd", "ssd", "nvme" or "null".
+	Device string
+	// Disks is the number of simulated devices (default 1).
+	Disks int
+	// RAID0 stripes all files across the disks (like the paper's md
+	// setup); otherwise whole files are placed round-robin.
+	RAID0 bool
+	// TimeScale multiplies simulated service times: 1.0 is real-time
+	// fidelity, 0.1 runs 10× faster, 0 disables timing (functional only).
+	TimeScale float64
+}
+
+// Options configure Open. The zero value opens an in-memory store with
+// PCP compaction and the paper's size parameters.
+type Options struct {
+	// Dir, when set, stores data in this directory on the real file
+	// system; otherwise everything lives in memory.
+	Dir string
+	// Simulate, when non-nil, interposes simulated devices between the
+	// store and its backing memory.
+	Simulate *SimulatedStorage
+
+	// Compaction selects the procedure.
+	Compaction Compaction
+
+	// MemtableBytes (default 4 MiB), TableBytes (default 2 MiB) and
+	// BlockBytes (default 4 KiB) set the tree geometry.
+	MemtableBytes int
+	TableBytes    int
+	BlockBytes    int
+	// Compression is "snappy" (default), "flate" or "none".
+	Compression string
+	// BloomBitsPerKey sizes per-table Bloom filters (0 = default 10 bits
+	// per key, negative disables).
+	BloomBitsPerKey int
+	// BlockCacheBytes caps the decompressed-block read cache (0 = default
+	// 8 MiB, negative disables).
+	BlockCacheBytes int
+
+	// PipelinedFlush overlaps memtable-flush computation with its writes
+	// (an extension of the paper's pipelining to the flush path).
+	PipelinedFlush bool
+	// SyncWrites fsyncs the WAL on every commit.
+	SyncWrites bool
+	// DisableAutoCompaction turns the background scheduler off.
+	DisableAutoCompaction bool
+	// Logf receives progress lines when set.
+	Logf func(format string, args ...any)
+}
+
+// DB is a key-value store. All methods are safe for concurrent use.
+type DB struct {
+	inner *lsm.DB
+	sim   *storage.SimFS
+}
+
+// Open creates or reopens a store.
+func Open(opts Options) (*DB, error) {
+	var fs storage.FS
+	if opts.Dir != "" {
+		osfs, err := storage.NewOSFS(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		fs = osfs
+	} else {
+		fs = storage.NewMemFS()
+	}
+
+	var sim *storage.SimFS
+	if opts.Simulate != nil {
+		s := *opts.Simulate
+		if s.Disks <= 0 {
+			s.Disks = 1
+		}
+		model, err := device.ByName(s.Device)
+		if err != nil {
+			return nil, err
+		}
+		devs := make([]*device.Device, s.Disks)
+		for i := range devs {
+			devs[i] = device.New(model, s.TimeScale)
+		}
+		placement := storage.PlaceByFile
+		if s.RAID0 {
+			placement = storage.PlaceStripe
+		}
+		sim = storage.NewSimFS(fs, devs, placement, 0)
+		fs = sim
+	}
+
+	kind, err := compress.ParseKind(opts.Compression)
+	if err != nil {
+		return nil, err
+	}
+	mode := core.ModePCP
+	switch opts.Compaction.Mode {
+	case "", "pcp":
+	case "scp":
+		mode = core.ModeSCP
+	default:
+		return nil, fmt.Errorf("pcplsm: unknown compaction mode %q", opts.Compaction.Mode)
+	}
+
+	inner, err := lsm.Open(lsm.Options{
+		FS:              fs,
+		MemtableSize:    int64(opts.MemtableBytes),
+		TableSize:       int64(opts.TableBytes),
+		BlockSize:       opts.BlockBytes,
+		BloomBitsPerKey: opts.BloomBitsPerKey,
+		BlockCacheBytes: int64(opts.BlockCacheBytes),
+		Codec:           compress.MustByKind(kind),
+		Compaction: core.Config{
+			Mode:            mode,
+			SubtaskSize:     int64(opts.Compaction.SubtaskBytes),
+			QueueDepth:      opts.Compaction.QueueDepth,
+			ComputeParallel: opts.Compaction.ComputeWorkers,
+			IOParallel:      opts.Compaction.IOWorkers,
+		},
+		PipelinedFlush:        opts.PipelinedFlush,
+		SyncWAL:               opts.SyncWrites,
+		DisableAutoCompaction: opts.DisableAutoCompaction,
+		Logf:                  opts.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner, sim: sim}, nil
+}
+
+// Put stores a key/value pair.
+func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
+
+// Get returns the value of key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
+
+// Delete removes a key.
+func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+
+// Write commits a batch atomically.
+func (db *DB) Write(b *Batch) error { return db.inner.Write(b) }
+
+// NewIterator returns a snapshot scan; callers must Close it.
+func (db *DB) NewIterator() (*Iterator, error) { return db.inner.NewIterator() }
+
+// GetSnapshot pins a point-in-time read view. Compactions retain every
+// version the snapshot can read until it is Released.
+func (db *DB) GetSnapshot() (*Snapshot, error) { return db.inner.GetSnapshot() }
+
+// Flush forces the memtable to disk.
+func (db *DB) Flush() error { return db.inner.Flush() }
+
+// Compact synchronously runs one compaction from the given level.
+func (db *DB) Compact(level int) error { return db.inner.CompactLevel(level) }
+
+// CompactRange rewrites every table intersecting [begin, end] down the
+// tree (nil bounds are open; CompactRange(nil, nil) is a major compaction).
+func (db *DB) CompactRange(begin, end []byte) error { return db.inner.CompactRange(begin, end) }
+
+// WaitIdle blocks until all scheduled background work has drained.
+func (db *DB) WaitIdle() error { return db.inner.WaitIdle() }
+
+// Stats returns cumulative counters, including the compaction step
+// breakdown and bandwidth (the paper's metrics).
+func (db *DB) Stats() Stats { return db.inner.Stats() }
+
+// Levels returns the table count per level (diagnostics).
+func (db *DB) Levels() []int {
+	v := db.inner.Version()
+	out := make([]int, len(v.Levels))
+	for i := range v.Levels {
+		out[i] = len(v.Levels[i])
+	}
+	return out
+}
+
+// DeviceStats returns per-simulated-device counters, or nil when the store
+// is not simulated.
+func (db *DB) DeviceStats() []device.Stats {
+	if db.sim == nil {
+		return nil
+	}
+	devs := db.sim.Devices()
+	out := make([]device.Stats, len(devs))
+	for i, d := range devs {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
+// ResetDeviceStats zeroes simulated device counters.
+func (db *DB) ResetDeviceStats() {
+	if db.sim != nil {
+		db.sim.ResetDeviceStats()
+	}
+}
+
+// Close releases the store. Acknowledged writes survive via WAL replay.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// IsNotFound reports whether err is a missing-key error.
+func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
