@@ -273,6 +273,36 @@ func BenchmarkAblation_Codec(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerWorkers runs the mixed flush+compaction workload under
+// the strictly-serial scheduler (workers=1) and the concurrent one
+// (workers=2); the reported stall seconds and inserts/s are the BENCH_PR1
+// comparison (regenerate the committed artifact with
+// `go run ./cmd/pcpbench -schedjson BENCH_PR1.json`).
+func BenchmarkSchedulerWorkers(b *testing.B) {
+	sc := benchScale()
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			var res harness.SchedResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = harness.RunSched(harness.SchedConfig{
+					Device:    "ssd",
+					TimeScale: sc.TimeScale,
+					Entries:   sc.Fig12Entries,
+					Workers:   workers,
+					Engine:    core.Config{Mode: core.ModePCP, CPUDilation: sc.CPUDilation},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.InsertsPerSec, "inserts/s")
+			b.ReportMetric(res.StallSeconds*1000, "stall_ms")
+			b.ReportMetric(float64(res.MaxConcurrentBackground), "max_conc")
+		})
+	}
+}
+
 // BenchmarkPutThroughput measures the raw foreground write path (memtable
 // + WAL, no simulated devices).
 func BenchmarkPutThroughput(b *testing.B) {

@@ -4,13 +4,16 @@
 //
 //	pcpbench -fig 5            # one figure: 5, 8, 9, 10, 11, 12, model
 //	pcpbench -fig all          # everything
+//	pcpbench -fig sched        # background-scheduler comparison (workers=1 vs 2)
 //	pcpbench -scale quick      # quick (default) or full
 //	pcpbench -timescale 0.5    # speed up the simulated devices
+//	pcpbench -schedjson f.json # write the scheduler comparison as JSON and exit
 //
 // Output is the same rows/series the paper plots, as aligned text tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +22,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10, 11, 11b, 12, 12s, 12c, model, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10, 11, 11b, 12, 12s, 12c, model, sched, all")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	timeScale := flag.Float64("timescale", -1, "override simulated-device time scale (1.0 = faithful)")
+	schedJSON := flag.String("schedjson", "", "run the background-scheduler comparison and write it to this file as JSON")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -36,6 +40,27 @@ func main() {
 	}
 	if *timeScale >= 0 {
 		sc.TimeScale = *timeScale
+	}
+
+	if *schedJSON != "" {
+		cmp, err := harness.RunSchedComparison(sc, "ssd", sc.Fig12Entries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcpbench: scheduler comparison: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcpbench: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*schedJSON, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pcpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *schedJSON)
+		os.Stdout.Write(out)
+		return
 	}
 
 	type figure struct {
@@ -53,6 +78,7 @@ func main() {
 		"12s":   {{"12a-c", harness.Fig12SPPCP}},
 		"12c":   {{"12d-f", harness.Fig12CPPCP}},
 		"model": {{"model", harness.FigModel}},
+		"sched": {{"sched", harness.FigSched}},
 	}
 	var runs []figure
 	if *fig == "all" {

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pcplsm/internal/core"
+	"pcplsm/internal/lsm"
+	"pcplsm/internal/workload"
+)
+
+// SchedConfig describes one mixed flush+compaction load for the background
+// scheduler experiment: an insert-only stream over uniform random keys
+// against a tight tree geometry, so memtable flushes and multi-level
+// compactions continuously compete for the background workers.
+type SchedConfig struct {
+	Device    string
+	TimeScale float64
+	Entries   int
+	Workers   int
+	Engine    core.Config
+}
+
+// SchedResult records the stall and throughput metrics of one run.
+type SchedResult struct {
+	Workers                 int     `json:"workers"`
+	Entries                 int     `json:"entries"`
+	ElapsedSeconds          float64 `json:"elapsed_seconds"`
+	InsertsPerSec           float64 `json:"inserts_per_sec"`
+	StallCount              int64   `json:"stall_count"`
+	StallSeconds            float64 `json:"stall_seconds"`
+	Flushes                 int64   `json:"flushes"`
+	Compactions             int64   `json:"compactions"`
+	MaxConcurrentBackground int64   `json:"max_concurrent_background"`
+}
+
+// RunSched loads the mixed workload into a fresh store with the given
+// background worker count and drains all background work.
+func RunSched(cfg SchedConfig) (SchedResult, error) {
+	env, err := newSimEnv(cfg.Device, 1, false, cfg.TimeScale)
+	if err != nil {
+		return SchedResult{}, err
+	}
+	engine := cfg.Engine
+	if engine.SubtaskSize == 0 {
+		engine.SubtaskSize = 64 << 10
+	}
+	// Tighter geometry than RunLoad: flushes every ~128 KiB keep the flush
+	// lane busy while L0/L1 compactions back up behind it, so a serial
+	// scheduler hits the L0 stall trigger and a concurrent one overlaps.
+	db, err := lsm.Open(lsm.Options{
+		FS:                  env.fs,
+		MemtableSize:        128 << 10,
+		TableSize:           128 << 10,
+		BlockSize:           defaultBlockSize,
+		BaseLevelSize:       512 << 10,
+		LevelMultiplier:     4,
+		L0CompactionTrigger: 4,
+		L0StallTrigger:      8,
+		Compaction:          engine,
+		BackgroundWorkers:   cfg.Workers,
+	})
+	if err != nil {
+		return SchedResult{}, err
+	}
+	defer db.Close()
+
+	gen := workload.New(workload.Config{
+		Entries:   cfg.Entries,
+		KeySize:   defaultKeySize,
+		ValueSize: defaultValueSize,
+		KeySpace:  4 * cfg.Entries,
+		Seed:      1,
+	})
+	start := time.Now()
+	for {
+		k, v, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := db.Put(k, v); err != nil {
+			return SchedResult{}, err
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		return SchedResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	st := db.Stats()
+	return SchedResult{
+		Workers:                 cfg.Workers,
+		Entries:                 cfg.Entries,
+		ElapsedSeconds:          elapsed.Seconds(),
+		InsertsPerSec:           float64(cfg.Entries) / elapsed.Seconds(),
+		StallCount:              st.StallCount,
+		StallSeconds:            st.StallTime.Seconds(),
+		Flushes:                 st.Flushes,
+		Compactions:             st.Compactions,
+		MaxConcurrentBackground: st.MaxConcurrentBackground,
+	}, nil
+}
+
+// SchedComparison is the recorded artifact (BENCH_PR1.json): the same mixed
+// workload under the strictly-serial scheduler (workers=1) and the
+// concurrent one (workers=2).
+type SchedComparison struct {
+	Experiment string      `json:"experiment"`
+	Device     string      `json:"device"`
+	TimeScale  float64     `json:"time_scale"`
+	Serial     SchedResult `json:"workers_1"`
+	Concurrent SchedResult `json:"workers_2"`
+	// StallTimeReduction is 1 − concurrent/serial stall seconds (0 when the
+	// serial run never stalled).
+	StallTimeReduction float64 `json:"stall_time_reduction"`
+	// ThroughputGain is concurrent/serial inserts per second − 1.
+	ThroughputGain float64 `json:"throughput_gain"`
+}
+
+// RunSchedComparison runs the workers=1 vs workers=2 experiment.
+func RunSchedComparison(sc Scale, dev string, entries int) (SchedComparison, error) {
+	cmp := SchedComparison{
+		Experiment: "mixed flush+compaction load, serial vs concurrent background scheduler",
+		Device:     dev,
+		TimeScale:  sc.TimeScale,
+	}
+	var err error
+	base := SchedConfig{
+		Device:    dev,
+		TimeScale: sc.TimeScale,
+		Entries:   entries,
+		Engine:    sc.engine(core.Config{Mode: core.ModePCP}),
+	}
+	serial := base
+	serial.Workers = 1
+	if cmp.Serial, err = RunSched(serial); err != nil {
+		return cmp, err
+	}
+	conc := base
+	conc.Workers = 2
+	if cmp.Concurrent, err = RunSched(conc); err != nil {
+		return cmp, err
+	}
+	if cmp.Serial.StallSeconds > 0 {
+		cmp.StallTimeReduction = 1 - cmp.Concurrent.StallSeconds/cmp.Serial.StallSeconds
+	}
+	if cmp.Serial.InsertsPerSec > 0 {
+		cmp.ThroughputGain = cmp.Concurrent.InsertsPerSec/cmp.Serial.InsertsPerSec - 1
+	}
+	return cmp, nil
+}
+
+// FigSched renders the scheduler comparison as a pcpbench table.
+func FigSched(sc Scale) (*Table, error) {
+	cmp, err := RunSchedComparison(sc, "ssd", sc.Fig12Entries)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "background scheduler: workers=1 (serial) vs workers=2 (concurrent)",
+		Columns: []string{"workers", "inserts/s", "stalls", "stall_s", "flushes", "compactions", "max_concurrent"},
+	}
+	for _, r := range []SchedResult{cmp.Serial, cmp.Concurrent} {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%.0f", r.InsertsPerSec),
+			fmt.Sprintf("%d", r.StallCount),
+			fmt.Sprintf("%.3f", r.StallSeconds),
+			fmt.Sprintf("%d", r.Flushes),
+			fmt.Sprintf("%d", r.Compactions),
+			fmt.Sprintf("%d", r.MaxConcurrentBackground),
+		)
+	}
+	t.Note("stall-time reduction %.0f%%, throughput gain %.0f%%",
+		cmp.StallTimeReduction*100, cmp.ThroughputGain*100)
+	return t, nil
+}

@@ -13,6 +13,7 @@ import (
 	"pcplsm/internal/core"
 	"pcplsm/internal/ikey"
 	"pcplsm/internal/memtable"
+	"pcplsm/internal/metrics"
 	"pcplsm/internal/sstable"
 	"pcplsm/internal/storage"
 	"pcplsm/internal/wal"
@@ -37,6 +38,11 @@ type DB struct {
 	man    *manifest
 	stats  statsCollector
 
+	// installMu serializes version-edit application with the matching
+	// manifest append, so the journal replays in the same order the
+	// versions were installed even with concurrent installers.
+	installMu sync.Mutex
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	mem        *memtable.Memtable
@@ -47,13 +53,44 @@ type DB struct {
 	seq        uint64
 	compactPtr [NumLevels][]byte // round-robin compaction cursors
 	snapshots  map[uint64]int    // live snapshot seq -> refcount
-	working    bool              // background work unit in flight
 	closed     bool
 	bgErr      error
 
+	// Scheduler claim state (see scheduler.go); guarded by mu.
+	flushing            bool // a memtable flush is in flight
+	compactionsInFlight int
+	claimedLevels       [NumLevels]bool
+	claimedFiles        map[uint64]struct{}
+	pendingOutputs      map[uint64]struct{} // compaction outputs not yet installed
+
+	// zombies are tables dropped from the current version whose files are
+	// retained because a pinned old version may still read them; swept when
+	// pins are released. Guarded by zmu (not mu: the read path releases
+	// pins and must not contend with writers).
+	zmu     sync.Mutex
+	zombies map[uint64]struct{}
+
 	bgWork chan struct{}
 	bgQuit chan struct{}
-	bgDone chan struct{}
+	bgWg   sync.WaitGroup
+
+	// Live-exported scheduler gauges (also visible via Stats()).
+	reg                 *metrics.Registry
+	gFlushesInFlight    *metrics.Gauge
+	gCompactionsTotal   *metrics.Gauge
+	gCompactionsByLevel [NumLevels]*metrics.Gauge
+	gClaimedBytes       *metrics.Gauge
+}
+
+// gaugeFlushes moves the in-flight flush gauge by d.
+func (db *DB) gaugeFlushes(d int64) { db.gFlushesInFlight.Add(d) }
+
+// gaugeCompactions moves the in-flight compaction gauges: d units at the
+// given source level, and bytes claimed table bytes (both signed).
+func (db *DB) gaugeCompactions(level int, d, bytes int64) {
+	db.gCompactionsTotal.Add(d)
+	db.gCompactionsByLevel[level].Add(d)
+	db.gClaimedBytes.Add(bytes)
 }
 
 // Open opens (creating or recovering) a DB on opts.FS.
@@ -66,19 +103,32 @@ func Open(opts Options) (*DB, error) {
 	if opts.BlockCacheBytes > 0 {
 		blockCache = cache.New(opts.BlockCacheBytes)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	db := &DB{
-		opts:      opts,
-		fs:        opts.FS,
-		vs:        newVersionSet(),
-		bcache:    blockCache,
-		cache:     newTableCache(opts.FS, blockCache),
-		mem:       memtable.New(),
-		snapshots: map[uint64]int{},
-		bgWork:    make(chan struct{}, 1),
-		bgQuit:    make(chan struct{}),
-		bgDone:    make(chan struct{}),
+		opts:           opts,
+		fs:             opts.FS,
+		vs:             newVersionSet(),
+		bcache:         blockCache,
+		cache:          newTableCache(opts.FS, blockCache),
+		mem:            memtable.New(),
+		snapshots:      map[uint64]int{},
+		claimedFiles:   map[uint64]struct{}{},
+		pendingOutputs: map[uint64]struct{}{},
+		zombies:        map[uint64]struct{}{},
+		bgWork:         make(chan struct{}, opts.BackgroundWorkers),
+		bgQuit:         make(chan struct{}),
+		reg:            reg,
 	}
 	db.cond = sync.NewCond(&db.mu)
+	db.gFlushesInFlight = reg.Gauge("lsm_flushes_inflight")
+	db.gCompactionsTotal = reg.Gauge("lsm_compactions_inflight")
+	for l := range db.gCompactionsByLevel {
+		db.gCompactionsByLevel[l] = reg.Gauge(fmt.Sprintf("lsm_compactions_inflight_l%d", l))
+	}
+	db.gClaimedBytes = reg.Gauge("lsm_claimed_bytes")
 
 	if err := db.recover(); err != nil {
 		return nil, err
@@ -118,7 +168,10 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.removeObsoleteFiles()
 
-	go db.backgroundLoop()
+	for i := 0; i < opts.BackgroundWorkers; i++ {
+		db.bgWg.Add(1)
+		go db.backgroundWorker()
+	}
 	return db, nil
 }
 
@@ -219,8 +272,7 @@ func (db *DB) Close() error {
 	db.mu.Unlock()
 
 	close(db.bgQuit)
-	db.nudge()
-	<-db.bgDone
+	db.bgWg.Wait()
 
 	var first error
 	if err := db.wal.Close(); err != nil && first == nil {
@@ -289,7 +341,7 @@ func (db *DB) Write(b *Batch) error {
 			puts++
 		}
 	}
-	db.stats.update(func(s *Stats) { s.Puts += puts; s.Deletes += dels })
+	db.stats.addPutsDeletes(puts, dels)
 	return nil
 }
 
@@ -347,22 +399,34 @@ func (db *DB) stallWait() {
 	})
 }
 
-// Get returns the current value of key, or ErrNotFound.
-func (db *DB) Get(key []byte) ([]byte, error) { return db.getAt(key, 0) }
+// seqLatest asks getAt/newIteratorAt for the newest committed state. It is
+// distinct from 0, which is a valid (empty-view) snapshot sequence: a
+// snapshot taken before the first write must stay empty, not track the live
+// DB.
+const seqLatest = ^uint64(0)
 
-// getAt reads key at sequence seq (0 = latest).
+// Get returns the current value of key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.getAt(key, seqLatest) }
+
+// getAt reads key at sequence seq (seqLatest = newest).
 func (db *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return nil, ErrClosed
 	}
-	mem, imm, v, snap := db.mem, db.imm, db.vs.Current(), db.seq
-	if seq != 0 {
+	mem, imm, v, snap := db.mem, db.imm, db.vs.Acquire(), db.seq
+	if seq != seqLatest {
 		snap = seq
 	}
 	db.mu.Unlock()
-	db.stats.update(func(s *Stats) { s.Gets++ })
+	// The pin keeps every table file of v on disk even if a concurrent
+	// compaction drops it from the current version mid-read.
+	defer func() {
+		db.vs.Release(v)
+		db.sweepZombies()
+	}()
+	db.stats.addGet()
 
 	if val, deleted, ok := mem.Get(key, snap); ok {
 		if deleted {
@@ -429,13 +493,15 @@ func userInRange(k []byte, t *TableMeta) bool {
 
 // searchTable looks key up in one table at snapshot search key.
 func (db *DB) searchTable(t *TableMeta, key, search []byte) (val []byte, deleted, ok bool, err error) {
-	r, err := db.cache.Get(t.Num)
+	h, err := db.cache.Get(t.Num)
 	if err != nil {
 		return nil, false, false, err
 	}
+	defer h.Close()
+	r := h.Reader()
 	if !r.MayContain(key) {
 		// The Bloom filter proves the key absent: skip the block reads.
-		db.stats.update(func(s *Stats) { s.FilterSkips++ })
+		db.stats.addFilterSkip()
 		return nil, false, false, nil
 	}
 	it := r.NewIter()
@@ -463,6 +529,24 @@ func (db *DB) Stats() Stats {
 
 // Version returns the current table layout (for inspection and tests).
 func (db *DB) Version() *Version { return db.vs.Current() }
+
+// Metrics returns the DB's metrics registry with the operation counters
+// synced from the stats snapshot. The scheduler gauges (in-flight flushes
+// and compactions per level, claimed bytes) are maintained live and need no
+// sync.
+func (db *DB) Metrics() *metrics.Registry {
+	s := db.Stats()
+	db.reg.Gauge("lsm_puts").Set(s.Puts)
+	db.reg.Gauge("lsm_deletes").Set(s.Deletes)
+	db.reg.Gauge("lsm_gets").Set(s.Gets)
+	db.reg.Gauge("lsm_filter_skips").Set(s.FilterSkips)
+	db.reg.Gauge("lsm_flushes").Set(s.Flushes)
+	db.reg.Gauge("lsm_compactions").Set(s.Compactions)
+	db.reg.Gauge("lsm_stall_count").Set(s.StallCount)
+	db.reg.Gauge("lsm_stall_ns").Set(int64(s.StallTime))
+	db.reg.Gauge("lsm_max_concurrent_background").Set(s.MaxConcurrentBackground)
+	return db.reg
+}
 
 // Seq returns the last committed sequence number.
 func (db *DB) Seq() uint64 {
@@ -528,83 +612,12 @@ func (db *DB) WaitIdle() error {
 		if db.closed {
 			return ErrClosed
 		}
-		if db.imm == nil && !db.working && db.pickCompaction(db.vs.Current()) == nil {
+		if db.imm == nil && !db.backgroundBusy() && db.pickCompaction(db.vs.Current()) == nil {
 			return nil
 		}
 		db.nudge()
 		db.cond.Wait()
 	}
-}
-
-// backgroundLoop runs flushes and compactions until Close.
-func (db *DB) backgroundLoop() {
-	defer close(db.bgDone)
-	for {
-		select {
-		case <-db.bgQuit:
-			return
-		case <-db.bgWork:
-		}
-		for {
-			select {
-			case <-db.bgQuit:
-				return
-			default:
-			}
-			did, err := db.backgroundStep()
-			if err != nil {
-				db.mu.Lock()
-				db.bgErr = err
-				db.cond.Broadcast()
-				db.mu.Unlock()
-				return
-			}
-			if !did {
-				break
-			}
-		}
-	}
-}
-
-// backgroundStep performs one unit of background work. It returns whether
-// anything was done.
-func (db *DB) backgroundStep() (bool, error) {
-	db.mu.Lock()
-	if db.closed || db.working {
-		db.mu.Unlock()
-		return false, nil
-	}
-	if db.imm != nil {
-		imm, walNum := db.imm, db.immWalNum
-		db.working = true
-		db.mu.Unlock()
-		err := db.flushMemtable(imm, walNum)
-		db.mu.Lock()
-		db.working = false
-		if err == nil {
-			db.imm = nil
-		}
-		db.cond.Broadcast()
-		db.mu.Unlock()
-		return true, err
-	}
-	if db.opts.DisableAutoCompaction {
-		db.mu.Unlock()
-		return false, nil
-	}
-	pc := db.pickCompaction(db.vs.Current())
-	if pc == nil {
-		db.mu.Unlock()
-		return false, nil
-	}
-	db.working = true
-	db.mu.Unlock()
-	err := db.runCompaction(pc)
-	db.mu.Lock()
-	db.working = false
-	db.cond.Broadcast()
-	db.mu.Unlock()
-	return true, err
 }
 
 // writeLevel0Table dumps a memtable into a new table file and returns its
@@ -665,7 +678,6 @@ func (db *DB) flushMemtable(imm *memtable.Memtable, oldWAL uint64) error {
 	}
 	edit := NewVersionEdit()
 	edit.AddTable(0, meta)
-	v := db.vs.Apply(edit)
 	// Checkpoint the sequence number: this flush deletes its WAL, and the
 	// live WAL may stay empty until the next write, so without the
 	// checkpoint a reopen would resurrect a lower sequence counter — new
@@ -673,12 +685,16 @@ func (db *DB) flushMemtable(imm *memtable.Memtable, oldWAL uint64) error {
 	db.mu.Lock()
 	seqNow := db.seq
 	db.mu.Unlock()
-	if err := db.man.append(&manifestRecord{
+	db.installMu.Lock()
+	v := db.vs.Apply(edit)
+	aerr := db.man.append(&manifestRecord{
 		Added:    map[int][]manifestTable{0: toManifestTables([]*TableMeta{meta})},
 		Seq:      seqNow,
 		NextFile: db.vs.NewFileNum(),
-	}); err != nil {
-		return err
+	})
+	db.installMu.Unlock()
+	if aerr != nil {
+		return aerr
 	}
 	db.fs.Remove(walFileName(oldWAL))
 	db.stats.update(func(s *Stats) {
@@ -700,15 +716,19 @@ type pickedCompaction struct {
 	overlap []*TableMeta
 }
 
-// pickCompaction selects the highest-scoring level over threshold, or nil.
-// Called with db.mu held (reads compactPtr).
+// pickCompaction selects the highest-scoring level over threshold whose
+// level pair is not claimed by an in-flight compaction, or nil. Called with
+// db.mu held (reads compactPtr and the claim sets).
 func (db *DB) pickCompaction(v *Version) *pickedCompaction {
 	bestLevel, bestScore := -1, 0.0
-	if n := len(v.Levels[0]); n >= db.opts.L0CompactionTrigger {
+	if n := len(v.Levels[0]); n >= db.opts.L0CompactionTrigger && db.levelPairFree(0) {
 		bestLevel = 0
 		bestScore = float64(n) / float64(db.opts.L0CompactionTrigger)
 	}
 	for level := 1; level < NumLevels-1; level++ {
+		if !db.levelPairFree(level) {
+			continue
+		}
 		score := float64(v.LevelSize(level)) / float64(db.opts.maxLevelSize(level))
 		if score > bestScore && score >= 1.0 {
 			bestLevel, bestScore = level, score
@@ -759,12 +779,19 @@ func keyRange(tables []*TableMeta) (smallest, largest []byte) {
 func (db *DB) runCompaction(pc *pickedCompaction) error {
 	all := append(append([]*TableMeta(nil), pc.inputs...), pc.overlap...)
 	sources := make([]*core.TableSource, 0, len(all))
+	handles := make([]*tableHandle, 0, len(all))
+	defer func() {
+		for _, h := range handles {
+			h.Close()
+		}
+	}()
 	for _, t := range all {
-		r, err := db.cache.Get(t.Num)
+		h, err := db.cache.Get(t.Num)
 		if err != nil {
 			return err
 		}
-		sources = append(sources, core.NewTableSource(r))
+		handles = append(handles, h)
+		sources = append(sources, core.NewTableSource(h.Reader()))
 	}
 
 	cfg := db.opts.Compaction
@@ -782,12 +809,27 @@ func (db *DB) runCompaction(pc *pickedCompaction) error {
 		}
 	}
 
+	// Register every output as pending so obsolete-file sweeps leave the
+	// half-built tables alone; the registration is dropped once the edit is
+	// installed (or the compaction fails).
+	var outNums []uint64
 	sink := func() (string, storage.File, error) {
 		num := db.vs.NewFileNum()
+		db.mu.Lock()
+		db.pendingOutputs[num] = struct{}{}
+		outNums = append(outNums, num)
+		db.mu.Unlock()
 		name := TableFileName(num)
 		f, err := db.fs.Create(name)
 		return name, f, err
 	}
+	defer func() {
+		db.mu.Lock()
+		for _, num := range outNums {
+			delete(db.pendingOutputs, num)
+		}
+		db.mu.Unlock()
+	}()
 	res, err := core.Run(cfg, sources, sink)
 	if err != nil {
 		return fmt.Errorf("lsm: compaction L%d→L%d: %w", pc.level, pc.level+1, err)
@@ -812,17 +854,6 @@ func (db *DB) runCompaction(pc *pickedCompaction) error {
 		edit.DeleteTable(pc.level+1, t.Num)
 	}
 
-	db.mu.Lock()
-	nv := db.vs.Apply(edit)
-	if pc.level > 0 && len(pc.inputs) > 0 {
-		db.compactPtr[pc.level] = append([]byte(nil),
-			pc.inputs[len(pc.inputs)-1].Largest...)
-	}
-	db.mu.Unlock()
-	if err := nv.checkInvariants(); err != nil {
-		return err
-	}
-
 	rec := &manifestRecord{
 		Added:   map[int][]manifestTable{pc.level + 1: toManifestTables(outMetas)},
 		Deleted: map[int][]uint64{},
@@ -833,14 +864,35 @@ func (db *DB) runCompaction(pc *pickedCompaction) error {
 	for _, t := range pc.overlap {
 		rec.Deleted[pc.level+1] = append(rec.Deleted[pc.level+1], t.Num)
 	}
-	if err := db.man.append(rec); err != nil {
+
+	// Install version edit and manifest record as one unit: concurrent
+	// installers (a flush, or a compaction on a disjoint level pair) must
+	// journal in the same order their versions become current.
+	db.installMu.Lock()
+	db.mu.Lock()
+	nv := db.vs.Apply(edit)
+	if pc.level > 0 && len(pc.inputs) > 0 {
+		db.compactPtr[pc.level] = append([]byte(nil),
+			pc.inputs[len(pc.inputs)-1].Largest...)
+	}
+	db.mu.Unlock()
+	aerr := db.man.append(rec)
+	db.installMu.Unlock()
+	if aerr != nil {
+		return aerr
+	}
+	if err := nv.checkInvariants(); err != nil {
 		return err
 	}
 
+	// Defer input deletion through the zombie sweep: a pinned old version
+	// (an in-flight Get) may still be reading these tables.
+	db.zmu.Lock()
 	for _, t := range all {
-		db.cache.Evict(t.Num)
-		db.fs.Remove(t.FileName())
+		db.zombies[t.Num] = struct{}{}
 	}
+	db.zmu.Unlock()
+	db.sweepZombies()
 	db.stats.addCompaction(res.Stats)
 	db.opts.logf("lsm: compacted L%d→L%d: %v", pc.level, pc.level+1, res.Stats)
 	db.nudge()
@@ -855,34 +907,28 @@ func (db *DB) CompactLevel(level int) error {
 		return fmt.Errorf("lsm: cannot compact level %d", level)
 	}
 	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return ErrClosed
-	}
-	for db.working {
-		db.nudge()
-		db.cond.Wait()
-	}
-	v := db.vs.Current()
-	if len(v.Levels[level]) == 0 {
-		db.mu.Unlock()
-		return nil
-	}
-	pc := &pickedCompaction{level: level}
-	if level == 0 {
-		pc.inputs = append(pc.inputs, v.Levels[0]...)
-	} else {
-		pc.inputs = append(pc.inputs, v.Levels[level][0])
-	}
-	smallest, largest := keyRange(pc.inputs)
-	pc.overlap = v.overlapping(level+1, smallest, largest)
-	db.working = true
+	pc, claim, werr := db.waitClaimCompaction(func(v *Version) *pickedCompaction {
+		if len(v.Levels[level]) == 0 {
+			return nil
+		}
+		pc := &pickedCompaction{level: level}
+		if level == 0 {
+			pc.inputs = append(pc.inputs, v.Levels[0]...)
+		} else {
+			pc.inputs = append(pc.inputs, v.Levels[level][0])
+		}
+		smallest, largest := keyRange(pc.inputs)
+		pc.overlap = v.overlapping(level+1, smallest, largest)
+		return pc
+	})
 	db.mu.Unlock()
+	if werr != nil || pc == nil {
+		return werr
+	}
 
 	err := db.runCompaction(pc)
 	db.mu.Lock()
-	db.working = false
-	db.cond.Broadcast()
+	db.releaseCompaction(claim)
 	db.mu.Unlock()
 	return err
 }
@@ -904,41 +950,51 @@ func (db *DB) CompactRange(begin, end []byte) error {
 		largest = ikey.Make(end, 0, 0)
 	}
 	for level := 0; level < NumLevels-1; level++ {
-		for {
-			db.mu.Lock()
-			if db.closed {
-				db.mu.Unlock()
-				return ErrClosed
-			}
-			for db.working {
-				db.nudge()
-				db.cond.Wait()
-			}
-			v := db.vs.Current()
+		db.mu.Lock()
+		pc, claim, werr := db.waitClaimCompaction(func(v *Version) *pickedCompaction {
 			inputs := v.overlapping(level, smallest, largest)
 			if len(inputs) == 0 {
-				db.mu.Unlock()
-				break
+				return nil
 			}
 			pc := &pickedCompaction{level: level, inputs: inputs}
 			lo, hi := keyRange(pc.inputs)
 			pc.overlap = v.overlapping(level+1, lo, hi)
-			db.working = true
-			db.mu.Unlock()
-
-			err := db.runCompaction(pc)
-			db.mu.Lock()
-			db.working = false
-			db.cond.Broadcast()
-			db.mu.Unlock()
-			if err != nil {
-				return err
-			}
-			// One pass per level suffices: the inputs moved down.
-			break
+			return pc
+		})
+		db.mu.Unlock()
+		if werr != nil {
+			return werr
 		}
+		if pc == nil {
+			// Nothing overlapping at this level.
+			continue
+		}
+
+		err := db.runCompaction(pc)
+		db.mu.Lock()
+		db.releaseCompaction(claim)
+		db.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		// One pass per level suffices: the inputs moved down.
 	}
 	return nil
+}
+
+// sweepZombies deletes dropped tables that no live (current or pinned)
+// version references any more. Cheap no-op when nothing is pending.
+func (db *DB) sweepZombies() {
+	db.zmu.Lock()
+	defer db.zmu.Unlock()
+	for num := range db.zombies {
+		if db.vs.anyLiveContains(num) {
+			continue
+		}
+		delete(db.zombies, num)
+		db.cache.Evict(num)
+		db.fs.Remove(TableFileName(num))
+	}
 }
 
 // parseTableNum extracts the file number from a table file name.
@@ -952,13 +1008,27 @@ func parseTableNum(name string) (uint64, error) {
 }
 
 // removeObsoleteFiles deletes table and log files not referenced by the
-// current version or the live WAL (crash leftovers).
+// current version or the live WAL (crash leftovers). Tables claimed by
+// in-flight compactions and their not-yet-installed outputs are pinned.
 func (db *DB) removeObsoleteFiles() {
 	names, err := db.fs.List()
 	if err != nil {
 		return
 	}
 	live := map[string]bool{manifestName: true, walFileName(db.walNum): true}
+	db.mu.Lock()
+	for num := range db.claimedFiles {
+		live[TableFileName(num)] = true
+	}
+	for num := range db.pendingOutputs {
+		live[TableFileName(num)] = true
+	}
+	db.mu.Unlock()
+	db.zmu.Lock()
+	for num := range db.zombies {
+		live[TableFileName(num)] = true
+	}
+	db.zmu.Unlock()
 	v := db.vs.Current()
 	for l := range v.Levels {
 		for _, t := range v.Levels[l] {

@@ -52,20 +52,28 @@ type Iterator struct {
 // NewIterator returns a scan over the DB at the current sequence number.
 // The iterator sees a consistent snapshot regardless of concurrent writes
 // and compactions. Close must be called to release table handles.
-func (db *DB) NewIterator() (*Iterator, error) { return db.newIteratorAt(0) }
+func (db *DB) NewIterator() (*Iterator, error) { return db.newIteratorAt(seqLatest) }
 
-// newIteratorAt builds a scan at sequence seq (0 = latest).
+// newIteratorAt builds a scan at sequence seq (seqLatest = newest).
 func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return nil, ErrClosed
 	}
-	mem, imm, v, snap := db.mem, db.imm, db.vs.Current(), db.seq
-	if seq != 0 {
+	mem, imm, v, snap := db.mem, db.imm, db.vs.Acquire(), db.seq
+	if seq != seqLatest {
 		snap = seq
 	}
 	db.mu.Unlock()
+	// Pin v while the private table handles are opened: a concurrent
+	// compaction must not delete a table between the version capture and
+	// its Open below. Once the handles exist they outlive file removal on
+	// every FS implementation, so the pin can be dropped on return.
+	defer func() {
+		db.vs.Release(v)
+		db.sweepZombies()
+	}()
 
 	it := &Iterator{snap: snap}
 	it.sources = append(it.sources, memIterAdapter{it: mem.NewIter()})

@@ -3,6 +3,7 @@ package lsm
 import (
 	"pcplsm/internal/compress"
 	"pcplsm/internal/core"
+	"pcplsm/internal/metrics"
 	"pcplsm/internal/storage"
 )
 
@@ -61,10 +62,22 @@ type Options struct {
 	// commit latency).
 	SyncWAL bool
 
+	// BackgroundWorkers sizes the background scheduler's worker pool
+	// (default 2). With two or more workers a memtable flush can overlap
+	// in-flight compactions, and compactions on disjoint level pairs run
+	// in parallel. 1 restores the strictly serial one-unit-at-a-time
+	// behaviour of the original LevelDB-style loop.
+	BackgroundWorkers int
+
 	// DisableAutoCompaction stops the background scheduler; compactions
 	// then run only via CompactLevel/Flush calls. Used by experiments that
 	// need precise control.
 	DisableAutoCompaction bool
+
+	// Metrics, when set, receives the DB's live gauges (scheduler in-flight
+	// work, claimed bytes) and counters; nil gives the DB a private
+	// registry reachable via DB.Metrics().
+	Metrics *metrics.Registry
 
 	// Logf, when set, receives progress lines (flushes, compactions).
 	Logf func(format string, args ...any)
@@ -94,6 +107,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.LevelMultiplier <= 0 {
 		o.LevelMultiplier = 10
+	}
+	if o.BackgroundWorkers <= 0 {
+		o.BackgroundWorkers = 2
 	}
 	switch {
 	case o.BloomBitsPerKey == 0:

@@ -1,0 +1,194 @@
+package lsm
+
+// Background scheduler: a pool of Options.BackgroundWorkers goroutines runs
+// flushes and compactions concurrently, subject to a claim-based conflict
+// rule.
+//
+// Claims (all manipulated with db.mu held):
+//
+//   - A memtable flush conflicts only with another flush (there is at most
+//     one immutable memtable, so this is a single `flushing` flag). A flush
+//     writes a brand-new L0 table and deletes only its own WAL, so it can
+//     never race a compaction on files.
+//   - A compaction with source level L claims the level pair {L, L+1} and
+//     every input/overlap table it will read. A second compaction may start
+//     only if its level pair is disjoint from every in-flight pair and none
+//     of its tables are already claimed.
+//
+// Level-pair disjointness is sufficient given the leveled invariants: a
+// compaction at L only deletes tables at L and L+1 and only adds tables at
+// L+1, so two compactions with disjoint pairs touch disjoint table sets and
+// their version edits commute. The file-claim set is kept anyway as a
+// defense-in-depth check (manual CompactRange picks arbitrary input sets)
+// and so obsolete-file deletion can see exactly which tables are pinned by
+// in-flight work.
+//
+// Version edits and their manifest records are installed under a dedicated
+// installMu so the journal order always matches the in-memory version
+// order, even with concurrent installers.
+
+// compactionClaim records one in-flight compaction's reservations.
+type compactionClaim struct {
+	level int      // source level; the claim covers levels level and level+1
+	files []uint64 // claimed input + overlap table numbers
+	bytes int64    // total size of the claimed tables
+}
+
+// levelPairFree reports whether no in-flight compaction claims level or
+// level+1. Called with db.mu held.
+func (db *DB) levelPairFree(level int) bool {
+	return !db.claimedLevels[level] && !db.claimedLevels[level+1]
+}
+
+// tryClaimCompaction reserves pc's level pair and tables, returning nil if
+// any of them is already claimed by in-flight work. Called with db.mu held.
+func (db *DB) tryClaimCompaction(pc *pickedCompaction) *compactionClaim {
+	if !db.levelPairFree(pc.level) {
+		return nil
+	}
+	c := &compactionClaim{level: pc.level}
+	for _, t := range append(append([]*TableMeta(nil), pc.inputs...), pc.overlap...) {
+		if _, busy := db.claimedFiles[t.Num]; busy {
+			return nil
+		}
+		c.files = append(c.files, t.Num)
+		c.bytes += t.Size
+	}
+	db.claimedLevels[pc.level] = true
+	db.claimedLevels[pc.level+1] = true
+	for _, num := range c.files {
+		db.claimedFiles[num] = struct{}{}
+	}
+	db.compactionsInFlight++
+	db.stats.beginCompaction(pc.level, c.bytes)
+	db.gaugeCompactions(pc.level, +1, c.bytes)
+	return c
+}
+
+// releaseCompaction drops a claim and wakes anything waiting on the
+// scheduler (stalled writers, WaitIdle, conflicting manual compactions).
+// Called with db.mu held.
+func (db *DB) releaseCompaction(c *compactionClaim) {
+	db.claimedLevels[c.level] = false
+	db.claimedLevels[c.level+1] = false
+	for _, num := range c.files {
+		delete(db.claimedFiles, num)
+	}
+	db.compactionsInFlight--
+	db.stats.endCompaction(c.level, c.bytes)
+	db.gaugeCompactions(c.level, -1, -c.bytes)
+	db.cond.Broadcast()
+}
+
+// backgroundBusy reports whether any background unit is in flight. Called
+// with db.mu held.
+func (db *DB) backgroundBusy() bool {
+	return db.flushing || db.compactionsInFlight > 0
+}
+
+// backgroundWorker is one scheduler goroutine: it sleeps until nudged, then
+// drains work units until none can start.
+func (db *DB) backgroundWorker() {
+	defer db.bgWg.Done()
+	for {
+		select {
+		case <-db.bgQuit:
+			return
+		case <-db.bgWork:
+		}
+		for {
+			select {
+			case <-db.bgQuit:
+				return
+			default:
+			}
+			did, err := db.backgroundStep()
+			if err != nil {
+				db.mu.Lock()
+				if db.bgErr == nil {
+					db.bgErr = err
+				}
+				db.cond.Broadcast()
+				db.mu.Unlock()
+				break
+			}
+			if !did {
+				break
+			}
+		}
+	}
+}
+
+// backgroundStep claims and performs one unit of background work (a flush
+// in preference to a compaction), returning whether anything was done.
+// After claiming it nudges the pool so a sibling worker can look for a
+// concurrent, non-conflicting unit.
+func (db *DB) backgroundStep() (bool, error) {
+	db.mu.Lock()
+	if db.closed || db.bgErr != nil {
+		db.mu.Unlock()
+		return false, nil
+	}
+	if db.imm != nil && !db.flushing {
+		imm, walNum := db.imm, db.immWalNum
+		db.flushing = true
+		db.stats.beginFlush()
+		db.gaugeFlushes(+1)
+		db.mu.Unlock()
+		db.nudge() // a compaction may be runnable alongside this flush
+		err := db.flushMemtable(imm, walNum)
+		db.mu.Lock()
+		db.flushing = false
+		db.stats.endFlush()
+		db.gaugeFlushes(-1)
+		if err == nil {
+			db.imm = nil
+		}
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return true, err
+	}
+	if db.opts.DisableAutoCompaction {
+		db.mu.Unlock()
+		return false, nil
+	}
+	pc := db.pickCompaction(db.vs.Current())
+	if pc == nil {
+		db.mu.Unlock()
+		return false, nil
+	}
+	claim := db.tryClaimCompaction(pc)
+	if claim == nil {
+		// pickCompaction already excludes claimed level pairs, so this only
+		// triggers on a lost race; treat it as "no work right now".
+		db.mu.Unlock()
+		return false, nil
+	}
+	db.mu.Unlock()
+	db.nudge() // more disjoint work may be runnable in parallel
+	err := db.runCompaction(pc)
+	db.mu.Lock()
+	db.releaseCompaction(claim)
+	db.mu.Unlock()
+	return true, err
+}
+
+// waitClaimCompaction blocks until pc (rebuilt by pick on every retry, since
+// the version may change while waiting) can be claimed, the DB closes, or
+// background work fails. pick returns nil when there is nothing to do.
+// Called with db.mu held; returns with db.mu held.
+func (db *DB) waitClaimCompaction(pick func(v *Version) *pickedCompaction) (*pickedCompaction, *compactionClaim, error) {
+	for {
+		if db.closed {
+			return nil, nil, ErrClosed
+		}
+		pc := pick(db.vs.Current())
+		if pc == nil {
+			return nil, nil, nil
+		}
+		if claim := db.tryClaimCompaction(pc); claim != nil {
+			return pc, claim, nil
+		}
+		db.cond.Wait()
+	}
+}

@@ -1,0 +1,503 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pcplsm/internal/ikey"
+	"pcplsm/internal/storage"
+)
+
+// gateFS wraps an FS and can be armed to block the next Create of a ".sst"
+// file until released — the deterministic hook the scheduler tests use to
+// hold a compaction in flight at a known point.
+type gateFS struct {
+	storage.FS
+	mu      sync.Mutex
+	armed   bool
+	entered chan string   // receives the blocked file's name
+	release chan struct{} // closed to let the blocked Create proceed
+}
+
+func newGateFS(inner storage.FS) *gateFS {
+	return &gateFS{
+		FS:      inner,
+		entered: make(chan string, 1),
+		release: make(chan struct{}),
+	}
+}
+
+// arm makes the next .sst Create block (one-shot).
+func (g *gateFS) arm() {
+	g.mu.Lock()
+	g.armed = true
+	g.mu.Unlock()
+}
+
+func (g *gateFS) Create(name string) (storage.File, error) {
+	g.mu.Lock()
+	hit := g.armed && strings.HasSuffix(name, ".sst")
+	if hit {
+		g.armed = false
+	}
+	g.mu.Unlock()
+	if hit {
+		g.entered <- name
+		<-g.release
+	}
+	return g.FS.Create(name)
+}
+
+// fillTables writes n incompressible entries under the given key prefix and
+// flushes them into an L0 table, then compacts L0 into L1.
+func fillLevel1(t *testing.T, db *DB, rng *rand.Rand, prefix string, n int) {
+	t.Helper()
+	val := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		rng.Read(val)
+		k := fmt.Sprintf("%s%06d", prefix, i)
+		if err := db.Put([]byte(k), append([]byte(nil), val...)); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactLevel(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// drainLevel compacts level until it is empty, pushing its tables down.
+func drainLevel(t *testing.T, db *DB, level int) {
+	t.Helper()
+	for len(db.Version().Levels[level]) > 0 {
+		if err := db.CompactLevel(level); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// overloadLevel1 loads enough data that L1 exceeds its size threshold and
+// the picker wants an L1→L2 compaction.
+func overloadLevel1(t *testing.T, db *DB, rng *rand.Rand) {
+	t.Helper()
+	for round := 0; db.Version().LevelSize(1) < smallOpts(nil).BaseLevelSize; round++ {
+		if round > 20 {
+			t.Fatal("could not overload L1")
+		}
+		fillLevel1(t, db, rng, fmt.Sprintf("key%02d-", round), 700)
+	}
+}
+
+// TestFlushOverlapsCompaction holds a background L1→L2 compaction at its
+// first output Create and proves a memtable flush starts and completes
+// while the compaction is still in flight (BackgroundWorkers=2).
+func TestFlushOverlapsCompaction(t *testing.T) {
+	gate := newGateFS(storage.NewMemFS())
+	opts := smallOpts(gate)
+	opts.BackgroundWorkers = 2
+	opts.DisableAutoCompaction = true // manual control while loading
+	db := mustOpen(t, opts)
+	defer db.Close()
+	rng := rand.New(rand.NewSource(42))
+
+	overloadLevel1(t, db, rng)
+
+	// Block the next table Create, then let the scheduler find the pending
+	// L1→L2 compaction.
+	gate.arm()
+	db.mu.Lock()
+	db.opts.DisableAutoCompaction = false
+	db.mu.Unlock()
+	db.nudge()
+
+	select {
+	case name := <-gate.entered:
+		t.Logf("compaction blocked creating %s", name)
+	case <-time.After(10 * time.Second):
+		t.Fatal("background compaction never started")
+	}
+	if got := db.Stats().CompactionsInFlight; got != 1 {
+		t.Fatalf("CompactionsInFlight = %d, want 1", got)
+	}
+
+	// A flush must proceed while the compaction is stuck.
+	flushesBefore := db.Stats().Flushes
+	if err := db.Put([]byte("overlap-key"), []byte("overlap-val")); err != nil {
+		t.Fatal(err)
+	}
+	flushDone := make(chan error, 1)
+	go func() { flushDone <- db.Flush() }()
+	select {
+	case err := <-flushDone:
+		if err != nil {
+			t.Fatalf("flush failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("flush did not complete while compaction in flight: scheduler serialized them")
+	}
+
+	s := db.Stats()
+	if s.CompactionsInFlight != 1 {
+		t.Fatalf("after flush: CompactionsInFlight = %d, want 1 (still blocked)", s.CompactionsInFlight)
+	}
+	if s.CompactionsInFlightByLevel[1] != 1 {
+		t.Fatalf("per-level gauge: L1 in-flight = %d, want 1", s.CompactionsInFlightByLevel[1])
+	}
+	if s.Flushes <= flushesBefore {
+		t.Fatalf("flush did not run: %d -> %d", flushesBefore, s.Flushes)
+	}
+	if s.MaxConcurrentBackground < 2 {
+		t.Fatalf("MaxConcurrentBackground = %d, want >= 2", s.MaxConcurrentBackground)
+	}
+	if s.ClaimedBytes <= 0 {
+		t.Fatalf("ClaimedBytes = %d, want > 0 while compaction in flight", s.ClaimedBytes)
+	}
+
+	close(gate.release)
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Version().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get([]byte("overlap-key"))
+	if err != nil || string(got) != "overlap-val" {
+		t.Fatalf("Get(overlap-key) = %q, %v", got, err)
+	}
+}
+
+// TestConflictingCompactionsSerialize proves that a second compaction on
+// the same level pair does NOT start while the first is in flight, and
+// proceeds once the first releases its claim.
+func TestConflictingCompactionsSerialize(t *testing.T) {
+	gate := newGateFS(storage.NewMemFS())
+	opts := smallOpts(gate)
+	opts.BackgroundWorkers = 2
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	defer db.Close()
+	rng := rand.New(rand.NewSource(43))
+
+	overloadLevel1(t, db, rng)
+
+	gate.arm()
+	db.mu.Lock()
+	db.opts.DisableAutoCompaction = false
+	db.mu.Unlock()
+	db.nudge()
+	select {
+	case <-gate.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("background compaction never started")
+	}
+
+	// A manual compaction of the same level pair must wait for the claim.
+	second := make(chan error, 1)
+	go func() { second <- db.CompactLevel(1) }()
+	time.Sleep(200 * time.Millisecond) // give a buggy scheduler time to misbehave
+	select {
+	case err := <-second:
+		t.Fatalf("conflicting L1 compaction completed while L1→L2 in flight (err=%v)", err)
+	default:
+	}
+	if got := db.Stats().CompactionsInFlight; got != 1 {
+		t.Fatalf("CompactionsInFlight = %d, want 1 (conflict must not start)", got)
+	}
+
+	close(gate.release)
+	select {
+	case err := <-second:
+		if err != nil {
+			t.Fatalf("second compaction after release: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second compaction never ran after claim release")
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Version().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisjointCompactionsOverlap proves two compactions on disjoint level
+// pairs (L1→L2 and L3→L4) run concurrently.
+func TestDisjointCompactionsOverlap(t *testing.T) {
+	gate := newGateFS(storage.NewMemFS())
+	opts := smallOpts(gate)
+	opts.BackgroundWorkers = 2
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	defer db.Close()
+	rng := rand.New(rand.NewSource(44))
+
+	// Set A down to L3, then set B (same key range, newer versions) to L1.
+	fillLevel1(t, db, rng, "key", 600)
+	drainLevel(t, db, 1)
+	drainLevel(t, db, 2)
+	if len(db.Version().Levels[3]) == 0 {
+		t.Fatal("setup: L3 is empty")
+	}
+	fillLevel1(t, db, rng, "key", 600)
+	if len(db.Version().Levels[1]) == 0 {
+		t.Fatal("setup: L1 is empty")
+	}
+
+	// Block an L1→L2 compaction at its output Create.
+	gate.arm()
+	first := make(chan error, 1)
+	go func() { first <- db.CompactLevel(1) }()
+	select {
+	case <-gate.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first compaction never reached its output Create")
+	}
+
+	// An L3→L4 compaction claims a disjoint pair: it must complete while
+	// the first is still blocked.
+	disjoint := make(chan error, 1)
+	go func() { disjoint <- db.CompactLevel(3) }()
+	select {
+	case err := <-disjoint:
+		if err != nil {
+			t.Fatalf("disjoint compaction: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("disjoint L3→L4 compaction did not run while L1→L2 in flight")
+	}
+	select {
+	case err := <-first:
+		t.Fatalf("first compaction finished early (err=%v): gate broken", err)
+	default:
+	}
+	if got := db.Stats().MaxConcurrentBackground; got < 2 {
+		t.Fatalf("MaxConcurrentBackground = %d, want >= 2", got)
+	}
+
+	close(gate.release)
+	if err := <-first; err != nil {
+		t.Fatalf("first compaction: %v", err)
+	}
+	if err := db.Version().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Latest (set B) values must win everywhere.
+	for _, i := range []int{0, 123, 599} {
+		k := fmt.Sprintf("key%06d", i)
+		if _, err := db.Get([]byte(k)); err != nil {
+			t.Fatalf("Get(%s): %v", k, err)
+		}
+	}
+}
+
+// TestSerialWorkerBackCompat verifies BackgroundWorkers=1 never runs two
+// background units at once (the pre-scheduler serial behaviour).
+func TestSerialWorkerBackCompat(t *testing.T) {
+	opts := smallOpts(storage.NewMemFS())
+	opts.BackgroundWorkers = 1
+	opts.MemtableSize = 8 << 10
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	rng := rand.New(rand.NewSource(45))
+	val := make([]byte, 64)
+	for i := 0; i < 4000; i++ {
+		rng.Read(val)
+		k := fmt.Sprintf("key%06d", rng.Intn(2000))
+		if err := db.Put([]byte(k), append([]byte(nil), val...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Flushes == 0 || s.Compactions == 0 {
+		t.Fatalf("workload too small: flushes=%d compactions=%d", s.Flushes, s.Compactions)
+	}
+	if s.MaxConcurrentBackground != 1 {
+		t.Fatalf("MaxConcurrentBackground = %d, want exactly 1 with a single worker", s.MaxConcurrentBackground)
+	}
+}
+
+// TestSchedulerStressRandom hammers the concurrent scheduler with parallel
+// writers, readers, snapshots and iterators (run it under -race). Each
+// writer owns a disjoint key prefix so the final state is verifiable.
+func TestSchedulerStressRandom(t *testing.T) {
+	fs := storage.NewMemFS()
+	opts := smallOpts(fs)
+	opts.BackgroundWorkers = 3
+	opts.MemtableSize = 16 << 10
+	db := mustOpen(t, opts)
+
+	const writers = 4
+	opsPerWriter := 2500
+	if testing.Short() {
+		opsPerWriter = 600
+	}
+	finals := make([]map[string]string, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		finals[w] = map[string]string{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < opsPerWriter; i++ {
+				k := fmt.Sprintf("w%d-%04d", w, rng.Intn(400))
+				if rng.Intn(10) == 0 {
+					if err := db.Delete([]byte(k)); err != nil {
+						t.Errorf("writer %d delete: %v", w, err)
+						return
+					}
+					delete(finals[w], k)
+				} else {
+					v := fmt.Sprintf("v%d-%d", w, i)
+					if err := db.Put([]byte(k), []byte(v)); err != nil {
+						t.Errorf("writer %d put: %v", w, err)
+						return
+					}
+					finals[w][k] = v
+				}
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	// Point readers: values churn, but errors other than not-found are bugs.
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := fmt.Sprintf("w%d-%04d", rng.Intn(writers), rng.Intn(400))
+			if _, err := db.Get([]byte(k)); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Errorf("reader: Get(%s): %v", k, err)
+				return
+			}
+		}
+	}()
+	// Snapshots: a pinned read view must be stable across re-reads.
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		rng := rand.New(rand.NewSource(8))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap, err := db.GetSnapshot()
+			if err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+			k := []byte(fmt.Sprintf("w%d-%04d", rng.Intn(writers), rng.Intn(400)))
+			v1, err1 := snap.Get(k)
+			time.Sleep(time.Millisecond)
+			v2, err2 := snap.Get(k)
+			if (err1 == nil) != (err2 == nil) || string(v1) != string(v2) {
+				var layout strings.Builder
+				v := db.vs.Current()
+				for l := 0; l < NumLevels; l++ {
+					for _, tm := range v.Levels[l] {
+						if userInRange(k, tm) {
+							fmt.Fprintf(&layout, " L%d:%d[%s..%s]", l, tm.Num,
+								ikey.UserKey(tm.Smallest), ikey.UserKey(tm.Largest))
+						}
+					}
+				}
+				v3, err3 := snap.Get(k)
+				t.Errorf("snapshot unstable: key=%s seq=%d: %q,%v then %q,%v then %q,%v; layout:%s",
+					k, snap.Seq(), v1, err1, v2, err2, v3, err3, layout.String())
+				snap.Release()
+				return
+			}
+			snap.Release()
+		}
+	}()
+	// Iterators: scans must be strictly ascending whatever the tree does.
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it, err := db.NewIterator()
+			if err != nil {
+				t.Errorf("iterator: %v", err)
+				return
+			}
+			prev := ""
+			for ok := it.First(); ok; ok = it.Next() {
+				k := string(it.Key())
+				if prev != "" && k <= prev {
+					t.Errorf("iterator out of order: %q after %q", k, prev)
+					break
+				}
+				prev = k
+			}
+			if err := it.Err(); err != nil {
+				t.Errorf("iterator error: %v", err)
+			}
+			it.Close()
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if t.Failed() {
+		db.Close()
+		return
+	}
+
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Version().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	verify := func() {
+		t.Helper()
+		for w := 0; w < writers; w++ {
+			for k, want := range finals[w] {
+				got, err := db.Get([]byte(k))
+				if err != nil || string(got) != want {
+					t.Fatalf("Get(%s) = %q, %v; want %q", k, got, err, want)
+				}
+			}
+		}
+	}
+	verify()
+	if s := db.Stats(); s.MaxConcurrentBackground < 2 {
+		t.Errorf("stress never overlapped background work: max concurrent = %d", s.MaxConcurrentBackground)
+	}
+
+	// Survive a restart: the concurrently-written manifest must replay.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db = mustOpen(t, opts)
+	defer db.Close()
+	verify()
+}

@@ -8,6 +8,36 @@ import (
 	"pcplsm/internal/storage"
 )
 
+// A snapshot taken before the first write has sequence 0 and must stay an
+// empty view; it must not alias the "read latest" path (regression: seq 0
+// used to double as the read-latest sentinel).
+func TestSnapshotOnEmptyDBStaysEmpty(t *testing.T) {
+	db := mustOpen(t, smallOpts(storage.NewMemFS()))
+	defer db.Close()
+
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+
+	db.Put([]byte("a"), []byte("v1"))
+	if _, err := snap.Get([]byte("a")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty-DB snapshot Get(a) = %v, want not found", err)
+	}
+	it, err := snap.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if it.First() {
+		t.Fatalf("empty-DB snapshot iterator yields %q", it.Key())
+	}
+	if v, err := db.Get([]byte("a")); err != nil || string(v) != "v1" {
+		t.Fatalf("live Get(a) = %q, %v", v, err)
+	}
+}
+
 func TestSnapshotBasicIsolation(t *testing.T) {
 	db := mustOpen(t, smallOpts(storage.NewMemFS()))
 	defer db.Close()

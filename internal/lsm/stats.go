@@ -3,6 +3,7 @@ package lsm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pcplsm/internal/core"
@@ -45,6 +46,23 @@ type Stats struct {
 
 	// LastCompaction holds the most recent compaction's full statistics.
 	LastCompaction core.Stats
+
+	// Scheduler gauges: a snapshot of the concurrent background work in
+	// flight at the instant Stats() was called.
+	//
+	// FlushesInFlight is 0 or 1 (flushes conflict with each other).
+	FlushesInFlight int64
+	// CompactionsInFlight counts compactions currently claimed.
+	CompactionsInFlight int64
+	// CompactionsInFlightByLevel breaks CompactionsInFlight down by source
+	// level (an entry at L covers the L→L+1 level pair).
+	CompactionsInFlightByLevel [NumLevels]int64
+	// ClaimedBytes totals the input+overlap table bytes claimed by
+	// in-flight compactions.
+	ClaimedBytes int64
+	// MaxConcurrentBackground is the high-water mark of simultaneous
+	// background units (flushes + compactions) since Open.
+	MaxConcurrentBackground int64
 }
 
 // CompactionBandwidth returns bytes of compaction input processed per
@@ -64,16 +82,87 @@ func (s Stats) String() string {
 		s.CompactionSteps.Breakdown())
 }
 
-// statsCollector guards mutation of Stats.
+// statsCollector guards mutation of Stats. The pure operation counters and
+// scheduler gauges live in atomics so the read/write hot paths never take a
+// lock or allocate; the mutex only covers the cold aggregates (durations,
+// step breakdowns, per-compaction stats).
 type statsCollector struct {
+	puts        atomic.Int64
+	deletes     atomic.Int64
+	gets        atomic.Int64
+	filterSkips atomic.Int64
+
+	flushesInFlight     atomic.Int64
+	compactionsInFlight atomic.Int64
+	compactionsByLevel  [NumLevels]atomic.Int64
+	claimedBytes        atomic.Int64
+	maxConcurrent       atomic.Int64
+
 	mu sync.Mutex
 	s  Stats
 }
 
+func (c *statsCollector) addPutsDeletes(puts, dels int64) {
+	if puts != 0 {
+		c.puts.Add(puts)
+	}
+	if dels != 0 {
+		c.deletes.Add(dels)
+	}
+}
+
+func (c *statsCollector) addGet()        { c.gets.Add(1) }
+func (c *statsCollector) addFilterSkip() { c.filterSkips.Add(1) }
+
+// beginFlush/endFlush and beginCompaction/endCompaction maintain the
+// scheduler gauges around each background unit.
+func (c *statsCollector) beginFlush() {
+	c.flushesInFlight.Add(1)
+	c.noteConcurrency()
+}
+
+func (c *statsCollector) endFlush() { c.flushesInFlight.Add(-1) }
+
+func (c *statsCollector) beginCompaction(level int, claimedBytes int64) {
+	c.compactionsInFlight.Add(1)
+	c.compactionsByLevel[level].Add(1)
+	c.claimedBytes.Add(claimedBytes)
+	c.noteConcurrency()
+}
+
+func (c *statsCollector) endCompaction(level int, claimedBytes int64) {
+	c.compactionsInFlight.Add(-1)
+	c.compactionsByLevel[level].Add(-1)
+	c.claimedBytes.Add(-claimedBytes)
+}
+
+// noteConcurrency ratchets the high-water mark of concurrent units.
+func (c *statsCollector) noteConcurrency() {
+	cur := c.flushesInFlight.Load() + c.compactionsInFlight.Load()
+	for {
+		max := c.maxConcurrent.Load()
+		if cur <= max || c.maxConcurrent.CompareAndSwap(max, cur) {
+			return
+		}
+	}
+}
+
 func (c *statsCollector) snapshot() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.s
+	s := c.s
+	c.mu.Unlock()
+	s.Puts = c.puts.Load()
+	s.Deletes = c.deletes.Load()
+	s.Gets = c.gets.Load()
+	s.FilterSkips = c.filterSkips.Load()
+	s.FlushesInFlight = c.flushesInFlight.Load()
+	s.CompactionsInFlight = c.compactionsInFlight.Load()
+	for l := range s.CompactionsInFlightByLevel {
+		s.CompactionsInFlightByLevel[l] = c.compactionsByLevel[l].Load()
+	}
+	s.ClaimedBytes = c.claimedBytes.Load()
+	s.MaxConcurrentBackground = c.maxConcurrent.Load()
+	return s
 }
 
 func (c *statsCollector) update(f func(*Stats)) {

@@ -64,6 +64,11 @@ func (t *TableMeta) overlaps(smallest, largest []byte) bool {
 // Version is an immutable snapshot of the table layout across levels.
 type Version struct {
 	Levels [NumLevels][]*TableMeta
+
+	// refs counts read pins on this version (guarded by the owning
+	// versionSet's mu). While pinned, the tables it references stay on
+	// disk even if later versions dropped them.
+	refs int
 }
 
 // clone copies the version's level slices (table pointers are shared;
@@ -127,10 +132,13 @@ func (e *VersionEdit) DeleteTable(level int, num uint64) {
 	e.Deleted[level] = append(e.Deleted[level], num)
 }
 
-// versionSet tracks the current version and applies edits.
+// versionSet tracks the current version, applies edits, and keeps every
+// old version that a reader still has pinned alive so its table files can
+// be retained until the last reader releases it.
 type versionSet struct {
 	mu      sync.Mutex
 	current *Version
+	old     []*Version // superseded versions with refs > 0
 	nextNum uint64
 }
 
@@ -143,6 +151,48 @@ func (vs *versionSet) Current() *Version {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	return vs.current
+}
+
+// Acquire returns the current version with a read pin. Callers must
+// Release it; until then anyLiveContains reports its tables as live.
+func (vs *versionSet) Acquire() *Version {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	vs.current.refs++
+	return vs.current
+}
+
+// Release drops a read pin taken by Acquire.
+func (vs *versionSet) Release(v *Version) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	v.refs--
+	if v.refs > 0 || v == vs.current {
+		return
+	}
+	for i, o := range vs.old {
+		if o == v {
+			vs.old = append(vs.old[:i], vs.old[i+1:]...)
+			break
+		}
+	}
+}
+
+// anyLiveContains reports whether table num appears in the current version
+// or any pinned old version.
+func (vs *versionSet) anyLiveContains(num uint64) bool {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	for _, v := range append([]*Version{vs.current}, vs.old...) {
+		for l := range v.Levels {
+			for _, t := range v.Levels[l] {
+				if t.Num == num {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // NewFileNum allocates a fresh table file number.
@@ -169,6 +219,9 @@ func (vs *versionSet) bumpFileNum(num uint64) {
 func (vs *versionSet) Apply(edit *VersionEdit) *Version {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
+	if vs.current.refs > 0 {
+		vs.old = append(vs.old, vs.current)
+	}
 	nv := vs.current.clone()
 	for level, nums := range edit.Deleted {
 		dead := map[uint64]bool{}
@@ -215,24 +268,64 @@ func (v *Version) checkInvariants() error {
 // immutable, so entries never invalidate — they are only dropped when the
 // table is deleted. An optional shared block cache is attached to every
 // reader it opens.
+//
+// Entries are reference-counted: with the concurrent background scheduler a
+// compaction can delete (and Evict) a table while a point read on an older
+// version still holds its reader, so eviction only marks the entry dead and
+// the last user's release performs the close.
 type tableCache struct {
 	fs     storage.FS
 	blocks *cache.Cache // nil = no block cache
 	mu     sync.Mutex
-	m      map[uint64]*sstable.Reader
+	m      map[uint64]*tableEntry
+}
+
+// tableEntry is one cached reader plus its reference count. The cache
+// itself holds one reference while the entry is in the map.
+type tableEntry struct {
+	r    *sstable.Reader
+	refs int
+}
+
+// tableHandle is a caller's leased reference to a cached reader. Close it
+// when done; the reader stays valid until then even if the table is evicted.
+type tableHandle struct {
+	c *tableCache
+	e *tableEntry
+}
+
+// Reader returns the leased reader.
+func (h *tableHandle) Reader() *sstable.Reader { return h.e.r }
+
+// Close releases the lease, closing the reader if it was evicted and this
+// was the last reference.
+func (h *tableHandle) Close() {
+	h.c.mu.Lock()
+	h.e.refs--
+	dead := h.e.refs == 0
+	h.c.mu.Unlock()
+	if dead {
+		h.e.r.Close()
+	}
 }
 
 func newTableCache(fs storage.FS, blocks *cache.Cache) *tableCache {
-	return &tableCache{fs: fs, blocks: blocks, m: map[uint64]*sstable.Reader{}}
+	return &tableCache{fs: fs, blocks: blocks, m: map[uint64]*tableEntry{}}
 }
 
-// Get returns a reader for table num, opening it if needed.
-func (c *tableCache) Get(num uint64) (*sstable.Reader, error) {
+// Get leases a reader for table num, opening it if needed. Callers must
+// Close the returned handle.
+func (c *tableCache) Get(num uint64) (*tableHandle, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if r, ok := c.m[num]; ok {
-		return r, nil
+	if e, ok := c.m[num]; ok {
+		e.refs++
+		c.mu.Unlock()
+		return &tableHandle{c: c, e: e}, nil
 	}
+	c.mu.Unlock()
+	// Open outside the lock: FS opens may be slow (or simulated-slow), and
+	// table numbers are never reused, so a duplicate open is only a benign
+	// lost race.
 	f, err := c.fs.Open(TableFileName(num))
 	if err != nil {
 		return nil, err
@@ -245,30 +338,55 @@ func (c *tableCache) Get(num uint64) (*sstable.Reader, error) {
 	if c.blocks != nil {
 		r.SetBlockCache(c.blocks, num)
 	}
-	c.m[num] = r
-	return r, nil
+	c.mu.Lock()
+	if e, ok := c.m[num]; ok {
+		// Lost the open race; lease the winner and drop ours.
+		e.refs++
+		c.mu.Unlock()
+		r.Close()
+		return &tableHandle{c: c, e: e}, nil
+	}
+	e := &tableEntry{r: r, refs: 2} // the cache's reference + the caller's
+	c.m[num] = e
+	c.mu.Unlock()
+	return &tableHandle{c: c, e: e}, nil
 }
 
-// Evict closes and forgets the reader for a deleted table, dropping its
-// cached blocks.
+// Evict forgets the reader for a deleted table and drops its cached
+// blocks. The reader is closed once the last outstanding lease is released.
 func (c *tableCache) Evict(num uint64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if r, ok := c.m[num]; ok {
-		r.Close()
+	var dying *tableEntry
+	if e, ok := c.m[num]; ok {
 		delete(c.m, num)
+		e.refs--
+		if e.refs == 0 {
+			dying = e
+		}
+	}
+	c.mu.Unlock()
+	if dying != nil {
+		dying.r.Close()
 	}
 	if c.blocks != nil {
 		c.blocks.EvictID(num)
 	}
 }
 
-// Close releases all cached readers.
+// Close releases all cached readers. Outstanding leases stay valid and
+// close their readers on release.
 func (c *tableCache) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for num, r := range c.m {
-		r.Close()
+	var dying []*tableEntry
+	for num, e := range c.m {
 		delete(c.m, num)
+		e.refs--
+		if e.refs == 0 {
+			dying = append(dying, e)
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range dying {
+		e.r.Close()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // MemFS is an in-memory FS, safe for concurrent use. It is the default
@@ -102,14 +103,16 @@ func (fs *MemFS) Size(name string) (int64, error) {
 	return int64(len(d.data)), nil
 }
 
-// memFile is a handle onto shared file data.
+// memFile is a handle onto shared file data. The closed flag is atomic:
+// with concurrent background work a table reader can be closed by cache
+// eviction while a racing read is in flight on another goroutine.
 type memFile struct {
 	d      *memFileData
-	closed bool
+	closed atomic.Bool
 }
 
 func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
-	if f.closed {
+	if f.closed.Load() {
 		return 0, fmt.Errorf("storage: read on closed file")
 	}
 	f.d.mu.RLock()
@@ -128,7 +131,7 @@ func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (f *memFile) Write(p []byte) (int, error) {
-	if f.closed {
+	if f.closed.Load() {
 		return 0, fmt.Errorf("storage: write on closed file")
 	}
 	f.d.mu.Lock()
@@ -140,7 +143,7 @@ func (f *memFile) Write(p []byte) (int, error) {
 func (f *memFile) Sync() error { return nil }
 
 func (f *memFile) Close() error {
-	f.closed = true
+	f.closed.Store(true)
 	return nil
 }
 

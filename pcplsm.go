@@ -111,6 +111,12 @@ type Options struct {
 	// 8 MiB, negative disables).
 	BlockCacheBytes int
 
+	// BackgroundWorkers sizes the background scheduler's worker pool
+	// (default 2). With two or more workers a memtable flush overlaps
+	// in-flight compactions, and compactions on disjoint level pairs run in
+	// parallel. 1 restores the strictly-serial pre-scheduler behavior.
+	BackgroundWorkers int
+
 	// PipelinedFlush overlaps memtable-flush computation with its writes
 	// (an extension of the paper's pipelining to the flush path).
 	PipelinedFlush bool
@@ -191,6 +197,7 @@ func Open(opts Options) (*DB, error) {
 			ComputeParallel: opts.Compaction.ComputeWorkers,
 			IOParallel:      opts.Compaction.IOWorkers,
 		},
+		BackgroundWorkers:     opts.BackgroundWorkers,
 		PipelinedFlush:        opts.PipelinedFlush,
 		SyncWAL:               opts.SyncWrites,
 		DisableAutoCompaction: opts.DisableAutoCompaction,
@@ -237,6 +244,12 @@ func (db *DB) WaitIdle() error { return db.inner.WaitIdle() }
 // Stats returns cumulative counters, including the compaction step
 // breakdown and bandwidth (the paper's metrics).
 func (db *DB) Stats() Stats { return db.inner.Stats() }
+
+// Metrics returns a point-in-time snapshot of the store's gauge registry:
+// the scheduler's live state (lsm_flushes_inflight, lsm_compactions_inflight
+// and its per-level lsm_compactions_inflight_l* breakdown, lsm_claimed_bytes)
+// plus cumulative counters mirrored from Stats under lsm_* names.
+func (db *DB) Metrics() map[string]int64 { return db.inner.Metrics().Snapshot() }
 
 // Levels returns the table count per level (diagnostics).
 func (db *DB) Levels() []int {

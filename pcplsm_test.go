@@ -225,6 +225,40 @@ func TestSnapshotPublicAPI(t *testing.T) {
 	}
 }
 
+func TestMetricsPublicAPI(t *testing.T) {
+	db, err := Open(Options{
+		BackgroundWorkers: 2,
+		MemtableBytes:     32 << 10,
+		TableBytes:        16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 3000; i++ {
+		db.Put([]byte(fmt.Sprintf("gm%06d", i)), []byte("metricval"))
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m["lsm_puts"] != 3000 {
+		t.Fatalf("lsm_puts = %d, want 3000", m["lsm_puts"])
+	}
+	if m["lsm_flushes"] == 0 {
+		t.Fatal("lsm_flushes missing from metrics")
+	}
+	if m["lsm_compactions_inflight"] != 0 || m["lsm_flushes_inflight"] != 0 {
+		t.Fatalf("idle store reports in-flight work: %v", m)
+	}
+	if _, ok := m["lsm_compactions_inflight_l1"]; !ok {
+		t.Fatal("per-level compaction gauges missing")
+	}
+	if m["lsm_max_concurrent_background"] < 1 {
+		t.Fatal("no background concurrency recorded")
+	}
+}
+
 func TestCompactRangePublicAPI(t *testing.T) {
 	db, err := Open(Options{MemtableBytes: 32 << 10, TableBytes: 16 << 10, DisableAutoCompaction: true})
 	if err != nil {
