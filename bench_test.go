@@ -18,6 +18,7 @@ package pcplsm
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -300,6 +301,59 @@ func BenchmarkSchedulerWorkers(b *testing.B) {
 			b.ReportMetric(res.StallSeconds*1000, "stall_ms")
 			b.ReportMetric(float64(res.MaxConcurrentBackground), "max_conc")
 		})
+	}
+}
+
+// BenchmarkParallelWriters measures the group-commit pipeline: N goroutines
+// issuing synchronous Puts against an in-memory store with background work
+// disabled, so only the commit path (WAL append + optional fsync + memtable
+// insert) is on the clock. With SyncWAL on, syncs/commit shows the
+// amortization group commit buys; compare against DisableGroupCommit for
+// the serial baseline (the recorded comparison on the simulated SSD is
+// BENCH_PR2.json, regenerated with `go run ./cmd/pcpbench -writejson
+// BENCH_PR2.json`).
+func BenchmarkParallelWriters(b *testing.B) {
+	for _, writers := range []int{1, 4, 16} {
+		for _, syncWAL := range []bool{false, true} {
+			b.Run(fmt.Sprintf("writers%d/sync=%v", writers, syncWAL), func(b *testing.B) {
+				db, err := Open(Options{
+					MemtableBytes:         256 << 20,
+					SyncWrites:            syncWAL,
+					DisableAutoCompaction: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				val := make([]byte, 100)
+				b.SetBytes(116)
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / writers
+				for w := 0; w < writers; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						key := make([]byte, 16)
+						for i := 0; i < per; i++ {
+							copy(key, fmt.Sprintf("w%03d%08d", w, i))
+							if err := db.Put(key, val); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				st := db.Stats()
+				if st.GroupedWrites > 0 {
+					b.ReportMetric(float64(st.WALSyncs)/float64(st.GroupedWrites), "syncs/commit")
+					b.ReportMetric(float64(st.GroupedWrites)/float64(st.WriteGroups), "writes/group")
+				}
+			})
+		}
 	}
 }
 

@@ -5,9 +5,11 @@
 //	pcpbench -fig 5            # one figure: 5, 8, 9, 10, 11, 12, model
 //	pcpbench -fig all          # everything
 //	pcpbench -fig sched        # background-scheduler comparison (workers=1 vs 2)
+//	pcpbench -fig write        # group-commit comparison (grouped vs serial writers)
 //	pcpbench -scale quick      # quick (default) or full
 //	pcpbench -timescale 0.5    # speed up the simulated devices
 //	pcpbench -schedjson f.json # write the scheduler comparison as JSON and exit
+//	pcpbench -writejson f.json # write the group-commit comparison as JSON and exit
 //
 // Output is the same rows/series the paper plots, as aligned text tables.
 package main
@@ -22,10 +24,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10, 11, 11b, 12, 12s, 12c, model, sched, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10, 11, 11b, 12, 12s, 12c, model, sched, write, all")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	timeScale := flag.Float64("timescale", -1, "override simulated-device time scale (1.0 = faithful)")
 	schedJSON := flag.String("schedjson", "", "run the background-scheduler comparison and write it to this file as JSON")
+	writeJSON := flag.String("writejson", "", "run the group-commit comparison and write it to this file as JSON")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -42,24 +45,36 @@ func main() {
 		sc.TimeScale = *timeScale
 	}
 
+	writeArtifact := func(path string, v any) {
+		out, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcpbench: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pcpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+		os.Stdout.Write(out)
+	}
 	if *schedJSON != "" {
 		cmp, err := harness.RunSchedComparison(sc, "ssd", sc.Fig12Entries)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcpbench: scheduler comparison: %v\n", err)
 			os.Exit(1)
 		}
-		out, err := json.MarshalIndent(cmp, "", "  ")
+		writeArtifact(*schedJSON, cmp)
+		return
+	}
+	if *writeJSON != "" {
+		cmp, err := harness.RunWriteComparison(sc, "ssd", sc.Fig12Entries/2, true)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pcpbench: %v\n", err)
+			fmt.Fprintf(os.Stderr, "pcpbench: group-commit comparison: %v\n", err)
 			os.Exit(1)
 		}
-		out = append(out, '\n')
-		if err := os.WriteFile(*schedJSON, out, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "pcpbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *schedJSON)
-		os.Stdout.Write(out)
+		writeArtifact(*writeJSON, cmp)
 		return
 	}
 
@@ -79,6 +94,7 @@ func main() {
 		"12c":   {{"12d-f", harness.Fig12CPPCP}},
 		"model": {{"model", harness.FigModel}},
 		"sched": {{"sched", harness.FigSched}},
+		"write": {{"write", harness.FigWrite}},
 	}
 	var runs []figure
 	if *fig == "all" {

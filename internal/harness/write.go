@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pcplsm/internal/lsm"
+)
+
+// WriteConfig describes one concurrent-commit experiment: Writers
+// goroutines splitting Ops synchronous Puts against a store whose
+// background work is disabled and whose memtable never fills, so elapsed
+// time measures the commit path (WAL append + fsync + memtable insert)
+// and nothing else.
+type WriteConfig struct {
+	Device    string
+	TimeScale float64
+	Writers   int
+	Ops       int // total Puts, split evenly across writers
+	SyncWAL   bool
+	Serial    bool // disable group commit (pre-pipeline behavior)
+}
+
+// WriteResult records one run's throughput and grouping behavior.
+type WriteResult struct {
+	Writers        int     `json:"writers"`
+	Ops            int     `json:"ops"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	WriteGroups    int64   `json:"write_groups"`
+	GroupedWrites  int64   `json:"grouped_writes"`
+	MaxWriteGroup  int64   `json:"max_write_group"`
+	WALSyncs       int64   `json:"wal_syncs"`
+	// SyncsPerCommit is WALSyncs / GroupedWrites: 1.0 means every commit
+	// paid its own fsync; group commit drives it toward 1/groupsize.
+	SyncsPerCommit float64 `json:"syncs_per_commit"`
+}
+
+// RunWrite loads the commit-path workload into a fresh simulated store.
+func RunWrite(cfg WriteConfig) (WriteResult, error) {
+	env, err := newSimEnv(cfg.Device, 1, false, cfg.TimeScale)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	db, err := lsm.Open(lsm.Options{
+		FS: env.fs,
+		// Big enough that the workload never rotates the memtable: no
+		// flushes, no compactions, no stalls — only commits.
+		MemtableSize:          256 << 20,
+		TableSize:             defaultTableSize,
+		BlockSize:             defaultBlockSize,
+		SyncWAL:               cfg.SyncWAL,
+		DisableGroupCommit:    cfg.Serial,
+		DisableAutoCompaction: true,
+	})
+	if err != nil {
+		return WriteResult{}, err
+	}
+	defer db.Close()
+
+	writers := cfg.Writers
+	if writers <= 0 {
+		writers = 1
+	}
+	per := cfg.Ops / writers
+	errs := make(chan error, writers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := make([]byte, defaultKeySize)
+			val := make([]byte, defaultValueSize)
+			for i := 0; i < per; i++ {
+				copy(key, fmt.Sprintf("w%03d-%010d", w, i))
+				if err := db.Put(key, val); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return WriteResult{}, err
+	default:
+	}
+
+	st := db.Stats()
+	res := WriteResult{
+		Writers:        writers,
+		Ops:            per * writers,
+		ElapsedSeconds: elapsed.Seconds(),
+		OpsPerSec:      float64(per*writers) / elapsed.Seconds(),
+		WriteGroups:    st.WriteGroups,
+		GroupedWrites:  st.GroupedWrites,
+		MaxWriteGroup:  st.MaxWriteGroup,
+		WALSyncs:       st.WALSyncs,
+	}
+	if st.GroupedWrites > 0 {
+		res.SyncsPerCommit = float64(st.WALSyncs) / float64(st.GroupedWrites)
+	}
+	return res, nil
+}
+
+// WriteComparison is the recorded artifact (BENCH_PR2.json): the same
+// synchronous-commit workload with group commit on vs off, swept over
+// writer counts.
+type WriteComparison struct {
+	Experiment string  `json:"experiment"`
+	Device     string  `json:"device"`
+	TimeScale  float64 `json:"time_scale"`
+	SyncWAL    bool    `json:"sync_wal"`
+	Writers    []int   `json:"writers"`
+	// Grouped[i] and Serial[i] ran with Writers[i] goroutines.
+	Grouped []WriteResult `json:"grouped"`
+	Serial  []WriteResult `json:"serial"`
+	// ThroughputGains[i] is grouped/serial ops per second − 1 at Writers[i].
+	ThroughputGains []float64 `json:"throughput_gains"`
+}
+
+// RunWriteComparison sweeps writer counts with group commit on and off.
+func RunWriteComparison(sc Scale, dev string, ops int, syncWAL bool) (WriteComparison, error) {
+	cmp := WriteComparison{
+		Experiment: "concurrent synchronous writers, grouped vs serial commit",
+		Device:     dev,
+		TimeScale:  sc.TimeScale,
+		SyncWAL:    syncWAL,
+		Writers:    []int{1, 4, 16},
+	}
+	for _, writers := range cmp.Writers {
+		base := WriteConfig{
+			Device:    dev,
+			TimeScale: sc.TimeScale,
+			Writers:   writers,
+			Ops:       ops,
+			SyncWAL:   syncWAL,
+		}
+		grouped, err := RunWrite(base)
+		if err != nil {
+			return cmp, err
+		}
+		serial := base
+		serial.Serial = true
+		serialRes, err := RunWrite(serial)
+		if err != nil {
+			return cmp, err
+		}
+		cmp.Grouped = append(cmp.Grouped, grouped)
+		cmp.Serial = append(cmp.Serial, serialRes)
+		gain := 0.0
+		if serialRes.OpsPerSec > 0 {
+			gain = grouped.OpsPerSec/serialRes.OpsPerSec - 1
+		}
+		cmp.ThroughputGains = append(cmp.ThroughputGains, gain)
+	}
+	return cmp, nil
+}
+
+// FigWrite renders the group-commit comparison as a pcpbench table.
+func FigWrite(sc Scale) (*Table, error) {
+	cmp, err := RunWriteComparison(sc, "ssd", sc.Fig12Entries/2, true)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "group commit: concurrent synchronous writers, grouped vs serial (SyncWAL=true)",
+		Columns: []string{"writers", "mode", "ops/s", "groups", "max_group", "syncs/commit", "gain"},
+	}
+	for i, writers := range cmp.Writers {
+		g, s := cmp.Grouped[i], cmp.Serial[i]
+		t.AddRow(fmt.Sprintf("%d", writers), "serial",
+			fmt.Sprintf("%.0f", s.OpsPerSec), fmt.Sprintf("%d", s.WriteGroups),
+			fmt.Sprintf("%d", s.MaxWriteGroup), fmt.Sprintf("%.3f", s.SyncsPerCommit), "")
+		t.AddRow(fmt.Sprintf("%d", writers), "grouped",
+			fmt.Sprintf("%.0f", g.OpsPerSec), fmt.Sprintf("%d", g.WriteGroups),
+			fmt.Sprintf("%d", g.MaxWriteGroup), fmt.Sprintf("%.3f", g.SyncsPerCommit),
+			fmt.Sprintf("%+.0f%%", cmp.ThroughputGains[i]*100))
+	}
+	t.Note("one fsync per commit group: concurrent writers amortize WAL syncs they would each pay serially")
+	return t, nil
+}

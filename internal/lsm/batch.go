@@ -52,18 +52,55 @@ func (b *Batch) Reset() {
 //
 //	uvarint seq | uvarint count | count × (kind byte | klen | key | [vlen | value])
 func (b *Batch) encode(seq uint64) []byte {
-	buf := binary.AppendUvarint(nil, seq)
-	buf = binary.AppendUvarint(buf, uint64(len(b.entries)))
+	return b.encodeTo(nil, seq)
+}
+
+// encodeTo appends the encoded record to dst (usually a reused scratch
+// buffer) and returns the extended slice. The layout is the one encode
+// documents; a record holding the entries of several merged batches is
+// produced by one header (base seq, total count) followed by each batch's
+// appendEntries, and is indistinguishable from a single large batch.
+func (b *Batch) encodeTo(dst []byte, seq uint64) []byte {
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.AppendUvarint(dst, uint64(len(b.entries)))
+	return b.appendEntries(dst)
+}
+
+// appendEntries appends only the entry bodies (no seq/count header).
+func (b *Batch) appendEntries(dst []byte) []byte {
 	for _, e := range b.entries {
-		buf = append(buf, byte(e.kind))
-		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
-		buf = append(buf, e.key...)
+		dst = append(dst, byte(e.kind))
+		dst = binary.AppendUvarint(dst, uint64(len(e.key)))
+		dst = append(dst, e.key...)
 		if e.kind == ikey.KindSet {
-			buf = binary.AppendUvarint(buf, uint64(len(e.val)))
-			buf = append(buf, e.val...)
+			dst = binary.AppendUvarint(dst, uint64(len(e.val)))
+			dst = append(dst, e.val...)
 		}
 	}
-	return buf
+	return dst
+}
+
+// entriesSize returns the exact encoded length of appendEntries' output,
+// so a merged group record can be pre-sized instead of grown piecemeal.
+func (b *Batch) entriesSize() int {
+	n := 0
+	for _, e := range b.entries {
+		n += 1 + uvarintLen(uint64(len(e.key))) + len(e.key)
+		if e.kind == ikey.KindSet {
+			n += uvarintLen(uint64(len(e.val))) + len(e.val)
+		}
+	}
+	return n
+}
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // decodeBatch parses a WAL record back into operations.

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pcplsm/internal/cache"
@@ -42,6 +43,21 @@ type DB struct {
 	// manifest append, so the journal replays in the same order the
 	// versions were installed even with concurrent installers.
 	installMu sync.Mutex
+
+	// Commit pipeline (see commit.go). commitMu serializes commit groups
+	// with each other and with every WAL mutation (rotation, Close); the
+	// leader holds it across WAL I/O and memtable inserts so neither
+	// happens under db.mu. Lock order: commitMu → mu. writeMu guards only
+	// the writer queue and is a leaf lock. commitBuf is the scratch buffer
+	// for encoded records, reused across commits (commitMu in grouped mode,
+	// mu in serial mode — never both in one DB). visibleSeq is the
+	// watermark reads clamp to: the last sequence whose group is fully in
+	// the memtable.
+	commitMu   sync.Mutex
+	writeMu    sync.Mutex
+	writers    []*commitWriter
+	commitBuf  []byte
+	visibleSeq atomic.Uint64
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -166,6 +182,7 @@ func Open(opts Options) (*DB, error) {
 	if err := db.man.append(rec); err != nil {
 		return nil, err
 	}
+	db.visibleSeq.Store(db.seq)
 	db.removeObsoleteFiles()
 
 	for i := 0; i < opts.BackgroundWorkers; i++ {
@@ -275,9 +292,13 @@ func (db *DB) Close() error {
 	db.bgWg.Wait()
 
 	var first error
+	// commitMu excludes an in-flight group's WAL append; any leader that
+	// starts after `closed` was set bails before touching the WAL.
+	db.commitMu.Lock()
 	if err := db.wal.Close(); err != nil && first == nil {
 		first = err
 	}
+	db.commitMu.Unlock()
 	if err := db.man.close(); err != nil && first == nil {
 		first = err
 	}
@@ -307,47 +328,12 @@ func (db *DB) Delete(key []byte) error {
 	return db.Write(&b)
 }
 
-// Write commits a batch atomically.
-func (db *DB) Write(b *Batch) error {
-	if b.Len() == 0 {
-		return nil
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if err := db.makeRoomForWrite(); err != nil {
-		return err
-	}
-	base := db.seq + 1
-	db.seq += uint64(b.Len())
-	if err := db.wal.Append(b.encode(base)); err != nil {
-		return fmt.Errorf("lsm: appending to WAL: %w", err)
-	}
-	if db.opts.SyncWAL {
-		if err := db.wal.Sync(); err != nil {
-			return err
-		}
-	}
-	var puts, dels int64
-	for i, e := range b.entries {
-		s := base + uint64(i)
-		if e.kind == ikey.KindDelete {
-			db.mem.Delete(s, e.key)
-			dels++
-		} else {
-			db.mem.Put(s, e.key, e.val)
-			puts++
-		}
-	}
-	db.stats.addPutsDeletes(puts, dels)
-	return nil
-}
+// Write is implemented by the commit pipeline in commit.go.
 
 // makeRoomForWrite rotates the memtable and stalls writers, mirroring
 // LevelDB: the "write pauses" the paper attributes to slow compaction
-// happen here. Called with db.mu held.
+// happen here. Called with db.mu held — by a serial writer, or by a group
+// leader that also holds commitMu (WAL rotation requires both).
 func (db *DB) makeRoomForWrite() error {
 	for {
 		switch {
@@ -408,14 +394,17 @@ const seqLatest = ^uint64(0)
 // Get returns the current value of key, or ErrNotFound.
 func (db *DB) Get(key []byte) ([]byte, error) { return db.getAt(key, seqLatest) }
 
-// getAt reads key at sequence seq (seqLatest = newest).
+// getAt reads key at sequence seq (seqLatest = newest). The read view is
+// the memtable pointers + pinned version + the visible-sequence watermark;
+// entries of an in-flight commit group sit above the watermark and are
+// skipped, so reads never wait on commit I/O.
 func (db *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return nil, ErrClosed
 	}
-	mem, imm, v, snap := db.mem, db.imm, db.vs.Acquire(), db.seq
+	mem, imm, v, snap := db.mem, db.imm, db.vs.Acquire(), db.visibleSeq.Load()
 	if seq != seqLatest {
 		snap = seq
 	}
@@ -545,38 +534,58 @@ func (db *DB) Metrics() *metrics.Registry {
 	db.reg.Gauge("lsm_stall_count").Set(s.StallCount)
 	db.reg.Gauge("lsm_stall_ns").Set(int64(s.StallTime))
 	db.reg.Gauge("lsm_max_concurrent_background").Set(s.MaxConcurrentBackground)
+	db.reg.Gauge("lsm_write_groups").Set(s.WriteGroups)
+	db.reg.Gauge("lsm_grouped_writes").Set(s.GroupedWrites)
+	db.reg.Gauge("lsm_wal_syncs").Set(s.WALSyncs)
+	db.reg.Gauge("lsm_max_write_group").Set(s.MaxWriteGroup)
 	return db.reg
 }
 
-// Seq returns the last committed sequence number.
-func (db *DB) Seq() uint64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.seq
-}
+// Seq returns the last committed (read-visible) sequence number.
+func (db *DB) Seq() uint64 { return db.visibleSeq.Load() }
 
 // Flush forces the current memtable to disk and waits for it.
+//
+// Rotating the memtable/WAL pair requires commitMu (a commit group may be
+// appending to the live WAL and inserting into the live memtable outside
+// db.mu), but commitMu must not be held while waiting on the condition
+// variable — that would block every writer behind an in-flight flush. So
+// the wait happens under db.mu alone and the rotation re-checks state once
+// both locks are held.
 func (db *DB) Flush() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	for db.imm != nil && db.bgErr == nil && !db.closed {
-		db.nudge()
-		db.cond.Wait()
-	}
-	if db.bgErr != nil || db.closed {
-		return firstErr(db.bgErr, ErrClosed)
+	for {
+		db.commitMu.Lock()
+		db.mu.Lock()
+		if db.closed || db.bgErr != nil {
+			err := firstErr(db.bgErr, ErrClosed)
+			db.mu.Unlock()
+			db.commitMu.Unlock()
+			return err
+		}
+		if db.imm == nil {
+			break // both locks held: rotation is safe
+		}
+		db.mu.Unlock()
+		db.commitMu.Unlock()
+		db.mu.Lock()
+		for db.imm != nil && db.bgErr == nil && !db.closed {
+			db.nudge()
+			db.cond.Wait()
+		}
+		db.mu.Unlock()
 	}
 	if db.mem.Count() > 0 {
 		num := db.vs.NewFileNum()
 		f, err := db.fs.Create(walFileName(num))
 		if err != nil {
+			db.mu.Unlock()
+			db.commitMu.Unlock()
 			return err
 		}
 		if err := db.wal.Close(); err != nil {
 			f.Close()
+			db.mu.Unlock()
+			db.commitMu.Unlock()
 			return err
 		}
 		db.imm = db.mem
@@ -585,9 +594,17 @@ func (db *DB) Flush() error {
 		db.wal = wal.NewWriter(f)
 		db.walNum = num
 	}
+	db.mu.Unlock()
+	db.commitMu.Unlock()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for db.imm != nil && db.bgErr == nil && !db.closed {
 		db.nudge()
 		db.cond.Wait()
+	}
+	if db.closed {
+		return firstErr(db.bgErr, ErrClosed)
 	}
 	return db.bgErr
 }

@@ -61,7 +61,7 @@ func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
 		db.mu.Unlock()
 		return nil, ErrClosed
 	}
-	mem, imm, v, snap := db.mem, db.imm, db.vs.Acquire(), db.seq
+	mem, imm, v, snap := db.mem, db.imm, db.vs.Acquire(), db.visibleSeq.Load()
 	if seq != seqLatest {
 		snap = seq
 	}

@@ -57,10 +57,29 @@ type Options struct {
 	// by now"). Off by default to keep the faithful LevelDB-style baseline.
 	PipelinedFlush bool
 
-	// SyncWAL forces an fsync per commit. Off by default (matching the
-	// paper's insert benchmarks, which are bounded by compaction, not
+	// SyncWAL forces an fsync per commit group. Off by default (matching
+	// the paper's insert benchmarks, which are bounded by compaction, not
 	// commit latency).
 	SyncWAL bool
+
+	// DisableGroupCommit restores the strictly serial commit path: every
+	// Write holds the DB mutex across WAL append, optional fsync and
+	// memtable insert, exactly like the pre-pipeline (LevelDB-baseline)
+	// behaviour. Group commit is on by default: concurrent writers are
+	// merged by a leader into one WAL record (one fsync when SyncWAL is
+	// set), and WAL I/O happens outside the DB mutex so reads never queue
+	// behind commit I/O.
+	DisableGroupCommit bool
+
+	// WriteGroupMaxCount caps how many queued writers one commit group may
+	// merge (default 64). 1 makes every group a single writer (grouping
+	// off, but the pipelined locking still applies).
+	WriteGroupMaxCount int
+
+	// WriteGroupMaxBytes caps the summed batch payload of one commit group
+	// (default 1 MiB), bounding both the merged WAL record and the latency
+	// a large group adds to its first writer.
+	WriteGroupMaxBytes int64
 
 	// BackgroundWorkers sizes the background scheduler's worker pool
 	// (default 2). With two or more workers a memtable flush can overlap
@@ -110,6 +129,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BackgroundWorkers <= 0 {
 		o.BackgroundWorkers = 2
+	}
+	if o.WriteGroupMaxCount <= 0 {
+		o.WriteGroupMaxCount = 64
+	}
+	if o.WriteGroupMaxBytes <= 0 {
+		o.WriteGroupMaxBytes = 1 << 20
 	}
 	switch {
 	case o.BloomBitsPerKey == 0:

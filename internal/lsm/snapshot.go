@@ -27,7 +27,9 @@ func (db *DB) GetSnapshot() (*Snapshot, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
-	seq := db.seq
+	// The watermark, not db.seq: a commit group that is mid-apply must not
+	// become visible to the snapshot.
+	seq := db.visibleSeq.Load()
 	db.snapshots[seq]++
 	return &Snapshot{db: db, seq: seq}, nil
 }

@@ -44,6 +44,17 @@ type Stats struct {
 	StallCount int64
 	StallTime  time.Duration
 
+	// Commit-pipeline counters. WriteGroups counts WAL records written by
+	// the commit path (one per group); GroupedWrites counts the Write calls
+	// those groups carried, so GroupedWrites/WriteGroups is the mean group
+	// size. WALSyncs counts commit-path fsyncs: with SyncWAL on,
+	// WALSyncs/GroupedWrites is the sync amortization (1.0 serial, → 1/N as
+	// grouping kicks in). MaxWriteGroup is the largest group committed.
+	WriteGroups   int64
+	GroupedWrites int64
+	WALSyncs      int64
+	MaxWriteGroup int64
+
 	// LastCompaction holds the most recent compaction's full statistics.
 	LastCompaction core.Stats
 
@@ -98,6 +109,11 @@ type statsCollector struct {
 	claimedBytes        atomic.Int64
 	maxConcurrent       atomic.Int64
 
+	writeGroups   atomic.Int64
+	groupedWrites atomic.Int64
+	walSyncs      atomic.Int64
+	maxWriteGroup atomic.Int64
+
 	mu sync.Mutex
 	s  Stats
 }
@@ -113,6 +129,22 @@ func (c *statsCollector) addPutsDeletes(puts, dels int64) {
 
 func (c *statsCollector) addGet()        { c.gets.Add(1) }
 func (c *statsCollector) addFilterSkip() { c.filterSkips.Add(1) }
+
+// addCommit records one committed group of groupSize writers, synced with
+// one fsync when synced is set.
+func (c *statsCollector) addCommit(groupSize int64, synced bool) {
+	c.writeGroups.Add(1)
+	c.groupedWrites.Add(groupSize)
+	if synced {
+		c.walSyncs.Add(1)
+	}
+	for {
+		max := c.maxWriteGroup.Load()
+		if groupSize <= max || c.maxWriteGroup.CompareAndSwap(max, groupSize) {
+			return
+		}
+	}
+}
 
 // beginFlush/endFlush and beginCompaction/endCompaction maintain the
 // scheduler gauges around each background unit.
@@ -162,6 +194,10 @@ func (c *statsCollector) snapshot() Stats {
 	}
 	s.ClaimedBytes = c.claimedBytes.Load()
 	s.MaxConcurrentBackground = c.maxConcurrent.Load()
+	s.WriteGroups = c.writeGroups.Load()
+	s.GroupedWrites = c.groupedWrites.Load()
+	s.WALSyncs = c.walSyncs.Load()
+	s.MaxWriteGroup = c.maxWriteGroup.Load()
 	return s
 }
 

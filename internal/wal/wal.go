@@ -55,17 +55,28 @@ func NewWriter(f storage.File) *Writer {
 	return &Writer{f: f}
 }
 
+// zeroPad is the static source for block-tail padding (always shorter than
+// a header), so Append never allocates for it.
+var zeroPad [headerSize]byte
+
 // Append writes one record. The record is durable only after a successful
 // Sync; unsynced records live in the file system's write cache, like
 // LevelDB's non-sync writes.
 func (w *Writer) Append(rec []byte) error {
+	// Pre-size the scratch buffer for the whole framed record (payload plus
+	// one header per fragment plus at most one padded tail) so commit-path
+	// appends reuse a single allocation instead of growing piecemeal.
+	frags := len(rec)/(BlockSize-headerSize) + 1
+	if need := len(rec) + frags*headerSize + headerSize; cap(w.buf) < need {
+		w.buf = make([]byte, 0, need)
+	}
 	w.buf = w.buf[:0]
 	begin := true
 	for {
 		leftover := BlockSize - w.blockOff
 		if leftover < headerSize {
 			// Zero-pad the block tail.
-			w.buf = append(w.buf, make([]byte, leftover)...)
+			w.buf = append(w.buf, zeroPad[:leftover]...)
 			w.blockOff = 0
 			leftover = BlockSize
 		}

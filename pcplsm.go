@@ -120,8 +120,20 @@ type Options struct {
 	// PipelinedFlush overlaps memtable-flush computation with its writes
 	// (an extension of the paper's pipelining to the flush path).
 	PipelinedFlush bool
-	// SyncWrites fsyncs the WAL on every commit.
+	// SyncWrites fsyncs the WAL on every commit group.
 	SyncWrites bool
+
+	// DisableGroupCommit restores the serial commit path (every Write
+	// holds the DB lock across its own WAL append and fsync). By default
+	// concurrent writers are batched by a leader into one WAL record and
+	// one fsync, and reads never queue behind commit I/O.
+	DisableGroupCommit bool
+	// WriteGroupMaxCount caps the writers merged into one commit group
+	// (default 64).
+	WriteGroupMaxCount int
+	// WriteGroupMaxBytes caps one commit group's summed batch payload
+	// (default 1 MiB).
+	WriteGroupMaxBytes int
 	// DisableAutoCompaction turns the background scheduler off.
 	DisableAutoCompaction bool
 	// Logf receives progress lines when set.
@@ -200,6 +212,9 @@ func Open(opts Options) (*DB, error) {
 		BackgroundWorkers:     opts.BackgroundWorkers,
 		PipelinedFlush:        opts.PipelinedFlush,
 		SyncWAL:               opts.SyncWrites,
+		DisableGroupCommit:    opts.DisableGroupCommit,
+		WriteGroupMaxCount:    opts.WriteGroupMaxCount,
+		WriteGroupMaxBytes:    int64(opts.WriteGroupMaxBytes),
 		DisableAutoCompaction: opts.DisableAutoCompaction,
 		Logf:                  opts.Logf,
 	})
