@@ -10,6 +10,7 @@
 //	pcpbench -timescale 0.5    # speed up the simulated devices
 //	pcpbench -schedjson f.json # write the scheduler comparison as JSON and exit
 //	pcpbench -writejson f.json # write the group-commit comparison as JSON and exit
+//	pcpbench -crashjson f.json # run the crash-consistency matrix, write the summary, exit
 //
 // Output is the same rows/series the paper plots, as aligned text tables.
 package main
@@ -29,6 +30,9 @@ func main() {
 	timeScale := flag.Float64("timescale", -1, "override simulated-device time scale (1.0 = faithful)")
 	schedJSON := flag.String("schedjson", "", "run the background-scheduler comparison and write it to this file as JSON")
 	writeJSON := flag.String("writejson", "", "run the group-commit comparison and write it to this file as JSON")
+	crashJSON := flag.String("crashjson", "", "run the crash-consistency matrix and write the summary to this file as JSON")
+	crashSeed := flag.Int64("crashseed", 1, "base seed for -crashjson cycles")
+	crashSeeds := flag.Int("crashseeds", 200, "number of seeded power-cut cycles for -crashjson")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -75,6 +79,16 @@ func main() {
 			os.Exit(1)
 		}
 		writeArtifact(*writeJSON, cmp)
+		return
+	}
+	if *crashJSON != "" {
+		sum := harness.RunCrashMatrix(*crashSeed, *crashSeeds)
+		writeArtifact(*crashJSON, sum)
+		if sum.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "pcpbench: %d of %d crash cycles failed (seeds %v)\n",
+				sum.Failed, sum.Cycles, sum.FailedSeeds)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -642,6 +642,11 @@ func (e *engine) writeSubtask(wj *writeJob) error {
 				w.AddFilterHashes(sb.hashes)
 			}
 			meta, werr = w.Finish()
+			// The output must be durable before the caller journals it and
+			// drops the input tables it replaces.
+			if werr == nil {
+				werr = f.Sync()
+			}
 		})
 		if cerr := f.Close(); werr == nil {
 			werr = cerr

@@ -225,14 +225,12 @@ func (db *DB) finishGroup(group []*commitWriter, err error) {
 }
 
 // poisonCommits records a commit-path WAL failure as the sticky background
-// error and wakes any stalled writers so they observe it.
+// error and wakes any stalled writers so they observe it. WAL-append
+// failures are always permanent: after a failed append the wal.Writer's
+// block alignment no longer matches the file, so retrying could make an
+// otherwise-clean tail unrecoverable.
 func (db *DB) poisonCommits(err error) {
-	db.mu.Lock()
-	if db.bgErr == nil {
-		db.bgErr = err
-	}
-	db.cond.Broadcast()
-	db.mu.Unlock()
+	db.setBgErr(&backgroundError{cause: err})
 }
 
 // writeSerial is the DisableGroupCommit fallback: the original LevelDB-style
@@ -253,19 +251,14 @@ func (db *DB) writeSerial(b *Batch) error {
 	db.commitBuf = b.encodeTo(db.commitBuf[:0], base)
 	if err := db.wal.Append(db.commitBuf); err != nil {
 		err = fmt.Errorf("lsm: appending to WAL: %w", err)
-		if db.bgErr == nil {
-			db.bgErr = err // same poisoning rule as the group path
-		}
-		db.cond.Broadcast()
+		// Same poisoning rule as the group path.
+		db.setBgErrLocked(&backgroundError{cause: err})
 		return err
 	}
 	synced := false
 	if db.opts.SyncWAL {
 		if err := db.wal.Sync(); err != nil {
-			if db.bgErr == nil {
-				db.bgErr = err
-			}
-			db.cond.Broadcast()
+			db.setBgErrLocked(&backgroundError{cause: err})
 			return err
 		}
 		synced = true

@@ -71,6 +71,7 @@ type DB struct {
 	snapshots  map[uint64]int    // live snapshot seq -> refcount
 	closed     bool
 	bgErr      error
+	bgFailures int // consecutive transient background failures (retry budget)
 
 	// Scheduler claim state (see scheduler.go); guarded by mu.
 	flushing            bool // a memtable flush is in flight
@@ -159,15 +160,8 @@ func Open(opts Options) (*DB, error) {
 	db.wal = wal.NewWriter(f)
 	db.walNum = num
 
-	man, err := openManifest(db.fs)
-	if err != nil {
-		return nil, err
-	}
-	db.man = man
-
-	// Checkpoint: flush anything recovered from old WALs so one manifest
-	// record supersedes every old log, then drop the leftovers.
-	rec := &manifestRecord{WALNum: num, Seq: db.seq, NextFile: db.vs.NewFileNum()}
+	// Flush anything recovered from old WALs so the manifest snapshot below
+	// supersedes every old log.
 	if db.mem.Count() > 0 {
 		meta, ferr := db.writeLevel0Table(db.mem)
 		if ferr != nil {
@@ -176,12 +170,31 @@ func Open(opts Options) (*DB, error) {
 		edit := NewVersionEdit()
 		edit.AddTable(0, meta)
 		db.vs.Apply(edit)
-		rec.Added = map[int][]manifestTable{0: toManifestTables([]*TableMeta{meta})}
 		db.mem = memtable.New()
 	}
-	if err := db.man.append(rec); err != nil {
+
+	// Compact the whole recovered state into one snapshot record and install
+	// it by atomic rename. A crash at any instant leaves either the old
+	// manifest — with the old WALs it implies still on disk, since obsolete
+	// files are only removed below — or the complete new one. This also
+	// bounds manifest growth across restarts.
+	rec := &manifestRecord{WALNum: num, Seq: db.seq, NextFile: db.vs.NewFileNum()}
+	for level, tables := range db.vs.Current().Levels {
+		if len(tables) > 0 {
+			if rec.Added == nil {
+				rec.Added = map[int][]manifestTable{}
+			}
+			rec.Added[level] = toManifestTables(tables)
+		}
+	}
+	if err := rewriteManifest(db.fs, rec); err != nil {
 		return nil, err
 	}
+	man, err := openManifest(db.fs)
+	if err != nil {
+		return nil, err
+	}
+	db.man = man
 	db.visibleSeq.Store(db.seq)
 	db.removeObsoleteFiles()
 
@@ -196,7 +209,11 @@ func Open(opts Options) (*DB, error) {
 // (in file-number order) into the memtable. Open then flushes the replayed
 // data and deletes the old logs.
 func (db *DB) recover() error {
-	if storage.Exists(db.fs, manifestName) {
+	haveManifest, err := storage.Exists(db.fs, manifestName)
+	if err != nil {
+		return fmt.Errorf("lsm: probing manifest: %w", err)
+	}
+	if haveManifest {
 		edits, err := replayManifest(db.fs)
 		if err != nil {
 			return fmt.Errorf("lsm: replaying manifest: %w", err)
@@ -242,6 +259,14 @@ func (db *DB) recover() error {
 		if strings.HasSuffix(name, ".log") {
 			if n, perr := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64); perr == nil {
 				logNums = append(logNums, n)
+				db.vs.bumpFileNum(n)
+			}
+		}
+		// Crash leftovers (half-written flush/compaction outputs that never
+		// made the manifest) must still reserve their numbers, or a new
+		// table allocation could collide with a stale file.
+		if strings.HasSuffix(name, ".sst") {
+			if n, perr := parseTableNum(name); perr == nil {
 				db.vs.bumpFileNum(n)
 			}
 		}
@@ -304,6 +329,42 @@ func (db *DB) Close() error {
 	}
 	db.cache.Close()
 	return first
+}
+
+// setBgErr installs the sticky background error (first one wins) and wakes
+// every stalled writer and waiter so they observe the read-only state.
+func (db *DB) setBgErr(err error) {
+	db.mu.Lock()
+	db.setBgErrLocked(err)
+	db.mu.Unlock()
+}
+
+// setBgErrLocked is setBgErr with db.mu already held.
+func (db *DB) setBgErrLocked(err error) {
+	if db.bgErr == nil {
+		db.bgErr = err
+		db.stats.addBackgroundError()
+		db.opts.logf("lsm: store degraded to read-only: %v", err)
+	}
+	db.cond.Broadcast()
+}
+
+// noteReadError classifies an error bubbling up a read path. Detected
+// corruption is counted and degrades the store to read-only (sticky
+// ErrCorruption); the read itself fails with an error matching both
+// ErrCorruption and the underlying sentinel. Reads are never gated on the
+// sticky state, so other keys stay readable.
+func (db *DB) noteReadError(err error) error {
+	if err == nil || errors.Is(err, ErrCorruption) {
+		return err
+	}
+	if isCorruptionErr(err) {
+		db.stats.addCorruption()
+		wrapped := &backgroundError{cause: err, corruption: true}
+		db.setBgErr(wrapped)
+		return wrapped
+	}
+	return err
 }
 
 // nudge wakes the background loop.
@@ -442,7 +503,7 @@ func (db *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 		}
 		val, deleted, ok, err := db.searchTable(t, key, search)
 		if err != nil {
-			return nil, err
+			return nil, db.noteReadError(err)
 		}
 		if ok {
 			if deleted {
@@ -462,7 +523,7 @@ func (db *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 		}
 		val, deleted, ok, err := db.searchTable(tables[idx], key, search)
 		if err != nil {
-			return nil, err
+			return nil, db.noteReadError(err)
 		}
 		if ok {
 			if deleted {
@@ -538,6 +599,9 @@ func (db *DB) Metrics() *metrics.Registry {
 	db.reg.Gauge("lsm_grouped_writes").Set(s.GroupedWrites)
 	db.reg.Gauge("lsm_wal_syncs").Set(s.WALSyncs)
 	db.reg.Gauge("lsm_max_write_group").Set(s.MaxWriteGroup)
+	db.reg.Gauge("lsm_background_retries").Set(s.BackgroundRetries)
+	db.reg.Gauge("lsm_background_errors").Set(s.BackgroundErrors)
+	db.reg.Gauge("lsm_corruptions_detected").Set(s.CorruptionsDetected)
 	return db.reg
 }
 
@@ -671,6 +735,11 @@ func (db *DB) writeLevel0Table(mem *memtable.Memtable) (*TableMeta, error) {
 		}
 	}
 	tm, err := w.Finish()
+	// The table must be durable before the manifest references it and the
+	// WAL that covers its contents is deleted.
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

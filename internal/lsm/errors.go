@@ -1,0 +1,104 @@
+package lsm
+
+import (
+	"errors"
+
+	"pcplsm/internal/block"
+	"pcplsm/internal/checksum"
+	"pcplsm/internal/compress"
+	"pcplsm/internal/sstable"
+	"pcplsm/internal/wal"
+)
+
+// Background failures fall into three classes:
+//
+//   - transient: flush/compaction I/O errors. The work is idempotent (the
+//     half-written output is discarded, the input tables are still live), so
+//     the scheduler retries with capped exponential backoff instead of
+//     poisoning the store.
+//   - corruption: a checksum or structural failure in data already on disk.
+//     Retrying cannot help and continuing to write could compound the
+//     damage, so the DB degrades to read-only with ErrCorruption sticky.
+//   - permanent: a failure after which the write path's durability state is
+//     unknown — a WAL append that may have half-written a record, or a
+//     manifest append whose partial line cannot be truncated away until the
+//     next recovery. These poison writes with ErrBackgroundError sticky.
+//
+// In the sticky states reads keep working: Get and iterators never consult
+// the background error.
+
+// ErrBackgroundError marks a sticky background failure: the store has
+// degraded to read-only. Errors returned by write paths in this state match
+// it with errors.Is.
+var ErrBackgroundError = errors.New("lsm: background error, store is read-only")
+
+// ErrCorruption marks detected on-disk corruption (checksum or structural
+// failure in an SSTable or the WAL). It implies ErrBackgroundError.
+var ErrCorruption = errors.New("lsm: corruption detected")
+
+// backgroundError is the sticky error stored in db.bgErr. It matches
+// ErrBackgroundError always and ErrCorruption when corruption is set, while
+// unwrapping to the underlying cause for errors.Is on e.g. an injected
+// fault sentinel.
+type backgroundError struct {
+	cause      error
+	corruption bool
+}
+
+func (e *backgroundError) Error() string {
+	if e.corruption {
+		return "lsm: corruption detected (store is read-only): " + e.cause.Error()
+	}
+	return "lsm: background error (store is read-only): " + e.cause.Error()
+}
+
+func (e *backgroundError) Unwrap() error { return e.cause }
+
+func (e *backgroundError) Is(target error) bool {
+	if target == ErrBackgroundError {
+		return true
+	}
+	return target == ErrCorruption && e.corruption
+}
+
+// permanentError marks a failure that must not be retried by the
+// background workers even though it is not corruption.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// markPermanent wraps err so the retry policy treats it as non-retryable.
+func markPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+func isPermanentErr(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// corruptionSentinels are the typed errors the lower layers raise for
+// checksum or structural failures in on-disk data.
+var corruptionSentinels = []error{
+	sstable.ErrBadTable,
+	block.ErrBlockTooShort,
+	block.ErrBlockCorrupt,
+	compress.ErrSnappyCorrupt,
+	compress.ErrSnappyTooLarge,
+	wal.ErrCorrupt,
+}
+
+// isCorruptionErr reports whether err stems from on-disk corruption.
+func isCorruptionErr(err error) bool {
+	for _, s := range corruptionSentinels {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	var cm *checksum.ErrMismatch
+	return errors.As(err, &cm)
+}

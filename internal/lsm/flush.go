@@ -107,6 +107,11 @@ func (db *DB) writeLevel0TablePipelined(mem *memtable.Memtable) (*TableMeta, err
 	if werr == nil {
 		tm, werr = w.Finish()
 	}
+	// The table must be durable before the manifest references it and the
+	// WAL that covers its contents is deleted.
+	if werr == nil {
+		werr = f.Sync()
+	}
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}

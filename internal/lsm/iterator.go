@@ -40,6 +40,7 @@ func (a memIterAdapter) Err() error         { return nil }
 // Iterator is a forward scan over the user-visible key space at a fixed
 // snapshot: one (newest) version per user key, tombstones elided.
 type Iterator struct {
+	db      *DB // for corruption classification on source errors
 	sources []internalIterator
 	readers []*sstable.Reader // owned table readers, closed on Close
 	snap    uint64
@@ -47,6 +48,17 @@ type Iterator struct {
 	key, val []byte
 	valid    bool
 	err      error
+}
+
+// fail records a source error (classifying corruption via the DB) and
+// invalidates the iterator.
+func (it *Iterator) fail(err error) bool {
+	if it.db != nil {
+		err = it.db.noteReadError(err)
+	}
+	it.err = err
+	it.valid = false
+	return false
 }
 
 // NewIterator returns a scan over the DB at the current sequence number.
@@ -75,7 +87,7 @@ func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
 		db.sweepZombies()
 	}()
 
-	it := &Iterator{snap: snap}
+	it := &Iterator{db: db, snap: snap}
 	it.sources = append(it.sources, memIterAdapter{it: mem.NewIter()})
 	if imm != nil {
 		it.sources = append(it.sources, memIterAdapter{it: imm.NewIter()})
@@ -94,7 +106,7 @@ func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
 			if err != nil {
 				f.Close()
 				it.Close()
-				return nil, err
+				return nil, db.noteReadError(err)
 			}
 			it.readers = append(it.readers, r)
 			it.sources = append(it.sources, r.NewIter())
@@ -134,9 +146,7 @@ func (it *Iterator) First() bool {
 	for _, s := range it.sources {
 		s.First()
 		if err := s.Err(); err != nil {
-			it.err = err
-			it.valid = false
-			return false
+			return it.fail(err)
 		}
 	}
 	return it.findNext(nil)
@@ -148,9 +158,7 @@ func (it *Iterator) Seek(target []byte) bool {
 	for _, s := range it.sources {
 		s.Seek(sk)
 		if err := s.Err(); err != nil {
-			it.err = err
-			it.valid = false
-			return false
+			return it.fail(err)
 		}
 	}
 	return it.findNext(nil)
@@ -208,9 +216,7 @@ func (it *Iterator) findNext(skipUser []byte) bool {
 			return true
 		}
 		if err := s.Err(); err != nil {
-			it.err = err
-			it.valid = false
-			return false
+			return it.fail(err)
 		}
 	}
 }

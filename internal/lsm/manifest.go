@@ -49,8 +49,11 @@ type manifest struct {
 // openManifest opens or creates the manifest file.
 func openManifest(fs storage.FS) (*manifest, error) {
 	var f storage.File
-	var err error
-	if storage.Exists(fs, manifestName) {
+	ok, err := storage.Exists(fs, manifestName)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: probing manifest: %w", err)
+	}
+	if ok {
 		f, err = fs.Open(manifestName)
 	} else {
 		f, err = fs.Create(manifestName)
@@ -61,7 +64,10 @@ func openManifest(fs storage.FS) (*manifest, error) {
 	return &manifest{f: f}, nil
 }
 
-// append writes one record and syncs.
+// append writes one record and syncs. I/O failures are marked permanent:
+// the write may have left a partial line that nothing can truncate away
+// until the next recovery, so retrying a later append could interleave
+// records into garbage.
 func (m *manifest) append(rec *manifestRecord) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
@@ -71,9 +77,28 @@ func (m *manifest) append(rec *manifestRecord) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, err := m.f.Write(data); err != nil {
-		return err
+		return markPermanent(err)
 	}
-	return m.f.Sync()
+	if err := m.f.Sync(); err != nil {
+		return markPermanent(err)
+	}
+	return nil
+}
+
+// rewriteManifest replaces the manifest with the single snapshot record rec
+// via write-to-temporary, sync, and atomic rename. A crash before the
+// rename leaves the old manifest (and the WALs it implies) fully intact; a
+// crash after it finds the compacted snapshot.
+func rewriteManifest(fs storage.FS, rec *manifestRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("lsm: encoding manifest snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	if err := storage.WriteFile(fs, manifestName, data); err != nil {
+		return fmt.Errorf("lsm: rewriting manifest: %w", err)
+	}
+	return nil
 }
 
 func (m *manifest) close() error { return m.f.Close() }

@@ -1,11 +1,27 @@
 package lsm
 
 import (
+	"time"
+
 	"pcplsm/internal/compress"
 	"pcplsm/internal/core"
 	"pcplsm/internal/metrics"
 	"pcplsm/internal/storage"
 )
+
+// BackgroundRetryPolicy bounds how background workers retry transient
+// flush/compaction I/O errors before declaring the store poisoned.
+type BackgroundRetryPolicy struct {
+	// Max is the number of consecutive failures tolerated before the error
+	// turns sticky and the store degrades to read-only. 0 selects the
+	// default of 5; a negative value disables retries (first failure is
+	// sticky, the pre-retry behaviour).
+	Max int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// consecutive failure up to 64×, capped at one second. 0 selects the
+	// default of 2ms.
+	BaseDelay time.Duration
+}
 
 // Options configure a DB. The zero value plus an FS is usable; defaults
 // mirror the paper's experimental setup (4 MiB memtable, 2 MiB SSTables,
@@ -93,6 +109,12 @@ type Options struct {
 	// need precise control.
 	DisableAutoCompaction bool
 
+	// BackgroundRetry bounds the retries of transient background I/O
+	// errors. Detected corruption and WAL/manifest-append failures are
+	// never retried: they immediately poison the store (reads keep
+	// working; writes fail with ErrBackgroundError/ErrCorruption).
+	BackgroundRetry BackgroundRetryPolicy
+
 	// Metrics, when set, receives the DB's live gauges (scheduler in-flight
 	// work, claimed bytes) and counters; nil gives the DB a private
 	// registry reachable via DB.Metrics().
@@ -135,6 +157,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.WriteGroupMaxBytes <= 0 {
 		o.WriteGroupMaxBytes = 1 << 20
+	}
+	switch {
+	case o.BackgroundRetry.Max == 0:
+		o.BackgroundRetry.Max = 5
+	case o.BackgroundRetry.Max < 0:
+		o.BackgroundRetry.Max = 0
+	}
+	if o.BackgroundRetry.BaseDelay <= 0 {
+		o.BackgroundRetry.BaseDelay = 2 * time.Millisecond
 	}
 	switch {
 	case o.BloomBitsPerKey == 0:

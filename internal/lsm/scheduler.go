@@ -27,6 +27,8 @@ package lsm
 // installMu so the journal order always matches the in-memory version
 // order, even with concurrent installers.
 
+import "time"
+
 // compactionClaim records one in-flight compaction's reservations.
 type compactionClaim struct {
 	level int      // source level; the claim covers levels level and level+1
@@ -87,7 +89,11 @@ func (db *DB) backgroundBusy() bool {
 }
 
 // backgroundWorker is one scheduler goroutine: it sleeps until nudged, then
-// drains work units until none can start.
+// drains work units until none can start. A step error never kills the
+// worker: transient failures back off and retry (the failed unit is still
+// claimable — a failed flush leaves db.imm set, a failed compaction is
+// re-picked), and sticky failures leave the worker idle but alive, serving
+// any later reopened work.
 func (db *DB) backgroundWorker() {
 	defer db.bgWg.Done()
 	for {
@@ -104,19 +110,70 @@ func (db *DB) backgroundWorker() {
 			}
 			did, err := db.backgroundStep()
 			if err != nil {
-				db.mu.Lock()
-				if db.bgErr == nil {
-					db.bgErr = err
+				if db.retryBackgroundError(err) {
+					continue
 				}
-				db.cond.Broadcast()
-				db.mu.Unlock()
 				break
 			}
 			if !did {
 				break
 			}
+			db.noteBackgroundSuccess()
 		}
 	}
+}
+
+// retryBackgroundError applies the error policy to one failed background
+// step, returning whether the worker should retry. Corruption and permanent
+// failures turn sticky immediately; transient I/O errors consume the
+// consecutive-failure budget (Options.BackgroundRetry.Max) with exponential
+// backoff before escalating.
+func (db *DB) retryBackgroundError(err error) bool {
+	switch {
+	case isCorruptionErr(err):
+		db.stats.addCorruption()
+		db.setBgErr(&backgroundError{cause: err, corruption: true})
+		return false
+	case isPermanentErr(err):
+		db.setBgErr(&backgroundError{cause: err})
+		return false
+	}
+
+	db.mu.Lock()
+	db.bgFailures++
+	failures := db.bgFailures
+	db.mu.Unlock()
+	if failures > db.opts.BackgroundRetry.Max {
+		db.setBgErr(&backgroundError{cause: err})
+		return false
+	}
+	db.stats.addBackgroundRetry()
+
+	delay := db.opts.BackgroundRetry.BaseDelay
+	for i := 1; i < failures && i < 7; i++ { // cap the shift at 64×
+		delay *= 2
+	}
+	if delay > time.Second {
+		delay = time.Second
+	}
+	db.opts.logf("lsm: background step failed (attempt %d/%d, retrying in %v): %v",
+		failures, db.opts.BackgroundRetry.Max, delay, err)
+	select {
+	case <-db.bgQuit:
+		// Shutting down: report "retry" so the worker loop's bgQuit check
+		// exits cleanly without poisoning the store.
+		return true
+	case <-time.After(delay):
+		return true
+	}
+}
+
+// noteBackgroundSuccess resets the consecutive-failure budget after a
+// completed background unit.
+func (db *DB) noteBackgroundSuccess() {
+	db.mu.Lock()
+	db.bgFailures = 0
+	db.mu.Unlock()
 }
 
 // backgroundStep claims and performs one unit of background work (a flush

@@ -55,6 +55,15 @@ type Stats struct {
 	WALSyncs      int64
 	MaxWriteGroup int64
 
+	// Error-policy counters. BackgroundRetries counts transient background
+	// failures that were retried; BackgroundErrors counts failures that
+	// turned sticky (retries exhausted, WAL/manifest poison);
+	// CorruptionsDetected counts checksum/structural failures observed in
+	// on-disk data (each detection event, not distinct files).
+	BackgroundRetries   int64
+	BackgroundErrors    int64
+	CorruptionsDetected int64
+
 	// LastCompaction holds the most recent compaction's full statistics.
 	LastCompaction core.Stats
 
@@ -114,6 +123,10 @@ type statsCollector struct {
 	walSyncs      atomic.Int64
 	maxWriteGroup atomic.Int64
 
+	bgRetries   atomic.Int64
+	bgErrors    atomic.Int64
+	corruptions atomic.Int64
+
 	mu sync.Mutex
 	s  Stats
 }
@@ -129,6 +142,10 @@ func (c *statsCollector) addPutsDeletes(puts, dels int64) {
 
 func (c *statsCollector) addGet()        { c.gets.Add(1) }
 func (c *statsCollector) addFilterSkip() { c.filterSkips.Add(1) }
+
+func (c *statsCollector) addBackgroundRetry() { c.bgRetries.Add(1) }
+func (c *statsCollector) addBackgroundError() { c.bgErrors.Add(1) }
+func (c *statsCollector) addCorruption()      { c.corruptions.Add(1) }
 
 // addCommit records one committed group of groupSize writers, synced with
 // one fsync when synced is set.
@@ -198,6 +215,9 @@ func (c *statsCollector) snapshot() Stats {
 	s.GroupedWrites = c.groupedWrites.Load()
 	s.WALSyncs = c.walSyncs.Load()
 	s.MaxWriteGroup = c.maxWriteGroup.Load()
+	s.BackgroundRetries = c.bgRetries.Load()
+	s.BackgroundErrors = c.bgErrors.Load()
+	s.CorruptionsDetected = c.corruptions.Load()
 	return s
 }
 

@@ -2,30 +2,52 @@ package storage
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
-	"sync/atomic"
 )
 
 // ErrInjected is the error FaultFS returns when a fault fires.
 var ErrInjected = errors.New("storage: injected fault")
 
-// FaultFS wraps an FS and injects failures, for exercising error paths:
-// flush failures surfacing as background errors, compactions aborting
-// cleanly, recovery after partial writes. Faults are armed by operation
-// kind with a countdown: the Nth matching operation fails (and keeps
-// failing until disarmed).
+// ErrPowerCut is returned by every operation after a simulated power cut.
+var ErrPowerCut = errors.New("storage: simulated power cut")
+
+// FaultFS wraps an FS with a deterministic, scriptable fault plan, for
+// exercising error paths and crash consistency:
+//
+//   - Error injection: the Nth operation of a given kind (optionally
+//     restricted to file names with a given suffix) fails, once or sticky.
+//   - Torn writes: a failing write first persists a seeded prefix of its
+//     payload, modelling a request torn mid-transfer.
+//   - Power cuts: a Cut fault freezes the file system — the triggering and
+//     every later operation fail with ErrPowerCut. FaultFS tracks synced
+//     versus merely written bytes per file, so CrashImage can then produce
+//     the durable state a machine would reboot with: synced prefixes
+//     survive, unsynced tails are dropped except for a seeded torn fragment
+//     (real disks persist part of the in-flight cache), and files that were
+//     never synced since creation may vanish entirely.
+//
+// The fault plan is evaluated under one mutex, so a multi-goroutine store
+// sees a single consistent fault sequence; with a fixed seed and a
+// deterministic operation order the whole run replays identically.
 type FaultFS struct {
 	inner FS
 
-	mu     sync.Mutex
-	armed  map[FaultOp]*faultState
-	writes atomic.Int64
+	mu    sync.Mutex
+	armed []*faultState
+	files map[string]*fileMeta
+	ops   map[FaultOp]int64
+	rng   *rand.Rand
+	down  bool
 }
 
 // FaultOp selects which operation class a fault applies to.
 type FaultOp int
 
-// Fault classes.
+// Fault classes. FaultAny matches every operation kind (useful to schedule
+// a power cut at the Nth I/O operation overall).
 const (
 	FaultCreate FaultOp = iota
 	FaultOpen
@@ -33,131 +55,402 @@ const (
 	FaultSync
 	FaultRemove
 	FaultRename
+	FaultRead
+	FaultAny
+	numFaultOps
 )
 
+var faultOpNames = [...]string{"create", "open", "write", "sync", "remove", "rename", "read", "any"}
+
+func (op FaultOp) String() string {
+	if int(op) < len(faultOpNames) {
+		return faultOpNames[op]
+	}
+	return fmt.Sprintf("op%d", int(op))
+}
+
+// Fault is one entry of the fault plan.
+type Fault struct {
+	// Op selects the operation kind (FaultAny matches all).
+	Op FaultOp
+	// Suffix, when non-empty, restricts the fault to operations on file
+	// names with this suffix (renames match on the old name).
+	Suffix string
+	// N fires the fault on the Nth matching operation (1 = the next one).
+	N int
+	// Sticky keeps the fault firing on every later matching operation.
+	Sticky bool
+	// Torn makes a failing write persist a seeded prefix of its payload
+	// before reporting the error.
+	Torn bool
+	// Cut turns the fault into a power cut: the file system goes down and
+	// every operation from this one on fails with ErrPowerCut.
+	Cut bool
+	// Err overrides the returned error (default ErrInjected).
+	Err error
+}
+
 type faultState struct {
-	countdown int64 // fail when it reaches zero
-	sticky    bool  // keep failing after the first hit
+	Fault
+	countdown int64
 	hits      int64
 }
 
-// NewFaultFS wraps inner with no faults armed.
-func NewFaultFS(inner FS) *FaultFS {
-	return &FaultFS{inner: inner, armed: map[FaultOp]*faultState{}}
+// fileMeta tracks durability per file: size is every byte written through
+// this FaultFS, synced the prefix made durable by Sync. Files opened (not
+// created) start fully durable at their existing size.
+type fileMeta struct {
+	size   int64
+	synced int64
+}
+
+// NewFaultFS wraps inner with no faults armed and a fixed default seed.
+func NewFaultFS(inner FS) *FaultFS { return NewSeededFaultFS(inner, 1) }
+
+// NewSeededFaultFS wraps inner; seed drives torn-write prefixes and the
+// torn-tail fractions of CrashImage.
+func NewSeededFaultFS(inner FS, seed int64) *FaultFS {
+	return &FaultFS{
+		inner: inner,
+		files: map[string]*fileMeta{},
+		ops:   map[FaultOp]int64{},
+		rng:   rand.New(rand.NewSource(seed)),
+	}
 }
 
 // Arm makes the n-th next operation of kind op fail (n=1 means the next
 // one). If sticky, every subsequent matching operation fails too.
 func (f *FaultFS) Arm(op FaultOp, n int, sticky bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.armed[op] = &faultState{countdown: int64(n), sticky: sticky}
+	f.ArmFault(Fault{Op: op, N: n, Sticky: sticky})
 }
 
-// Disarm clears a fault.
+// ArmFault adds one fault-plan entry. Entries accumulate; use Disarm to
+// clear all entries for an operation kind.
+func (f *FaultFS) ArmFault(ft Fault) {
+	if ft.N < 1 {
+		ft.N = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = append(f.armed, &faultState{Fault: ft, countdown: int64(ft.N)})
+}
+
+// Disarm clears every fault-plan entry of kind op.
 func (f *FaultFS) Disarm(op FaultOp) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	delete(f.armed, op)
+	kept := f.armed[:0]
+	for _, st := range f.armed {
+		if st.Op != op {
+			kept = append(kept, st)
+		}
+	}
+	f.armed = kept
 }
 
-// Hits returns how many times a fault of kind op has fired.
+// Hits returns how many times faults of kind op have fired.
 func (f *FaultFS) Hits(op FaultOp) int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if st, ok := f.armed[op]; ok {
-		return st.hits
+	var n int64
+	for _, st := range f.armed {
+		if st.Op == op {
+			n += st.hits
+		}
 	}
-	return 0
+	return n
 }
 
-// check returns ErrInjected when the fault for op fires.
-func (f *FaultFS) check(op FaultOp) error {
+// OpCount returns how many operations of kind op have been issued (FaultAny
+// gives the total across all kinds).
+func (f *FaultFS) OpCount(op FaultOp) int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	st, ok := f.armed[op]
-	if !ok {
-		return nil
+	if op == FaultAny {
+		var n int64
+		for _, c := range f.ops {
+			n += c
+		}
+		return n
 	}
-	st.countdown--
-	if st.countdown > 0 {
-		return nil
+	return f.ops[op]
+}
+
+// Down reports whether a power cut has fired.
+func (f *FaultFS) Down() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down
+}
+
+// tornLen is the seeded length of the persisted prefix of a torn payload.
+// Called with f.mu held.
+func (f *FaultFS) tornLen(n int) int {
+	if n <= 0 {
+		return 0
 	}
-	if st.countdown < 0 && !st.sticky {
-		return nil
+	return f.rng.Intn(n + 1)
+}
+
+// check runs the fault plan for one operation, returning a non-nil error
+// when a fault fires. tornPrefix is the number of payload bytes a torn
+// write should persist before failing (0 otherwise).
+func (f *FaultFS) check(op FaultOp, name string, payloadLen int) (tornPrefix int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.checkLocked(op, name, payloadLen)
+}
+
+func (f *FaultFS) checkLocked(op FaultOp, name string, payloadLen int) (tornPrefix int, err error) {
+	if f.down {
+		return 0, ErrPowerCut
 	}
-	st.hits++
-	return ErrInjected
+	f.ops[op]++
+	for _, st := range f.armed {
+		if st.Op != FaultAny && st.Op != op {
+			continue
+		}
+		if st.Suffix != "" && !hasSuffix(name, st.Suffix) {
+			continue
+		}
+		st.countdown--
+		if st.countdown > 0 || (st.countdown < 0 && !st.Sticky) {
+			continue
+		}
+		st.hits++
+		if st.Cut {
+			f.down = true
+			return 0, ErrPowerCut
+		}
+		ferr := st.Err
+		if ferr == nil {
+			ferr = ErrInjected
+		}
+		if st.Torn && op == FaultWrite {
+			return f.tornLen(payloadLen), ferr
+		}
+		return 0, ferr
+	}
+	return 0, nil
+}
+
+func hasSuffix(s, suffix string) bool {
+	return len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix
 }
 
 // Create implements FS.
 func (f *FaultFS) Create(name string) (File, error) {
-	if err := f.check(FaultCreate); err != nil {
+	if _, err := f.check(FaultCreate, name, 0); err != nil {
 		return nil, err
 	}
 	file, err := f.inner.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, inner: file}, nil
+	f.mu.Lock()
+	meta := &fileMeta{}
+	f.files[name] = meta
+	f.mu.Unlock()
+	return &faultFile{fs: f, inner: file, name: name, meta: meta}, nil
 }
 
 // Open implements FS.
 func (f *FaultFS) Open(name string) (File, error) {
-	if err := f.check(FaultOpen); err != nil {
+	if _, err := f.check(FaultOpen, name, 0); err != nil {
 		return nil, err
 	}
 	file, err := f.inner.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, inner: file}, nil
+	f.mu.Lock()
+	meta, ok := f.files[name]
+	if !ok {
+		// A file that predates this FaultFS is fully durable as it stands.
+		sz, serr := file.Size()
+		if serr != nil {
+			f.mu.Unlock()
+			file.Close()
+			return nil, serr
+		}
+		meta = &fileMeta{size: sz, synced: sz}
+		f.files[name] = meta
+	}
+	f.mu.Unlock()
+	return &faultFile{fs: f, inner: file, name: name, meta: meta}, nil
 }
 
 // Remove implements FS.
 func (f *FaultFS) Remove(name string) error {
-	if err := f.check(FaultRemove); err != nil {
+	if _, err := f.check(FaultRemove, name, 0); err != nil {
 		return err
 	}
-	return f.inner.Remove(name)
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.files, name)
+	f.mu.Unlock()
+	return nil
 }
 
-// Rename implements FS.
+// Rename implements FS. Namespace operations model a metadata-journaling
+// file system: once a rename returns it is durable and ordered, but file
+// contents still require Sync.
 func (f *FaultFS) Rename(oldname, newname string) error {
-	if err := f.check(FaultRename); err != nil {
+	if _, err := f.check(FaultRename, oldname, 0); err != nil {
 		return err
 	}
-	return f.inner.Rename(oldname, newname)
+	if err := f.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if meta, ok := f.files[oldname]; ok {
+		delete(f.files, oldname)
+		f.files[newname] = meta
+	} else {
+		delete(f.files, newname)
+	}
+	f.mu.Unlock()
+	return nil
 }
 
 // List implements FS.
-func (f *FaultFS) List() ([]string, error) { return f.inner.List() }
+func (f *FaultFS) List() ([]string, error) {
+	f.mu.Lock()
+	down := f.down
+	f.mu.Unlock()
+	if down {
+		return nil, ErrPowerCut
+	}
+	return f.inner.List()
+}
 
 // Size implements FS.
-func (f *FaultFS) Size(name string) (int64, error) { return f.inner.Size(name) }
+func (f *FaultFS) Size(name string) (int64, error) {
+	f.mu.Lock()
+	down := f.down
+	f.mu.Unlock()
+	if down {
+		return 0, ErrPowerCut
+	}
+	return f.inner.Size(name)
+}
+
+// CrashImage renders the durable state after a power cut (or at any
+// instant) into a fresh MemFS: every file keeps its synced prefix plus a
+// seeded fraction of its unsynced tail, with the last bytes of a kept tail
+// possibly garbled — the torn write a real disk leaves behind. Files
+// created but never synced may be dropped entirely.
+func (f *FaultFS) CrashImage() (*MemFS, error) {
+	names, err := f.inner.List()
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	img := NewMemFS()
+	for _, name := range names {
+		data, rerr := ReadAll(f.inner, name)
+		if rerr != nil {
+			return nil, fmt.Errorf("storage: crash image of %s: %w", name, rerr)
+		}
+		durable := len(data)
+		if meta, ok := f.files[name]; ok {
+			if int64(durable) > meta.synced {
+				durable = int(meta.synced)
+			}
+			if tail := len(data) - durable; tail > 0 {
+				// The unsynced suffix tears: a seeded prefix of it survives,
+				// and up to 8 of its final bytes may be garbage.
+				keep := f.rng.Intn(tail + 1)
+				if keep > 0 {
+					data = append([]byte(nil), data[:durable+keep]...)
+					if f.rng.Intn(2) == 0 {
+						garble := 1 + f.rng.Intn(8)
+						if garble > keep {
+							garble = keep
+						}
+						for i := len(data) - garble; i < len(data); i++ {
+							data[i] ^= 0xa5
+						}
+					}
+					durable = len(data)
+				}
+			}
+			if durable == 0 && meta.synced == 0 {
+				// Creation without any sync: the file itself may be lost.
+				if f.rng.Intn(2) == 0 {
+					continue
+				}
+			}
+		}
+		wf, cerr := img.Create(name)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if durable > 0 {
+			if _, werr := wf.Write(data[:durable]); werr != nil {
+				return nil, werr
+			}
+		}
+		wf.Close()
+	}
+	return img, nil
+}
 
 type faultFile struct {
 	fs    *FaultFS
 	inner File
+	name  string
+	meta  *fileMeta
 }
 
-func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
-
-func (f *faultFile) Write(p []byte) (int, error) {
-	if err := f.fs.check(FaultWrite); err != nil {
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if _, err := f.fs.check(FaultRead, f.name, 0); err != nil {
 		return 0, err
 	}
-	f.fs.writes.Add(1)
-	return f.inner.Write(p)
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	torn, err := f.fs.check(FaultWrite, f.name, len(p))
+	if err != nil {
+		if torn > 0 {
+			if n, werr := f.inner.Write(p[:torn]); werr == nil {
+				f.fs.mu.Lock()
+				f.meta.size += int64(n)
+				f.fs.mu.Unlock()
+			}
+		}
+		return 0, err
+	}
+	n, err := f.inner.Write(p)
+	if n > 0 {
+		f.fs.mu.Lock()
+		f.meta.size += int64(n)
+		f.fs.mu.Unlock()
+	}
+	return n, err
 }
 
 func (f *faultFile) Sync() error {
-	if err := f.fs.check(FaultSync); err != nil {
+	if _, err := f.fs.check(FaultSync, f.name, 0); err != nil {
 		return err
 	}
-	return f.inner.Sync()
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	f.meta.synced = f.meta.size
+	f.fs.mu.Unlock()
+	return nil
 }
 
+// Close passes through even after a power cut: a crashed process's file
+// descriptors close without touching the (gone) device.
 func (f *faultFile) Close() error { return f.inner.Close() }
 
 func (f *faultFile) Size() (int64, error) { return f.inner.Size() }

@@ -62,6 +62,204 @@ func TestStickyFault(t *testing.T) {
 	}
 }
 
+func TestFaultSuffixFilter(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	fs.ArmFault(Fault{Op: FaultCreate, Suffix: ".sst", N: 1, Sticky: true})
+	if _, err := fs.Create("000001.log"); err != nil {
+		t.Fatalf("non-matching create failed: %v", err)
+	}
+	if _, err := fs.Create("000002.sst"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching create: %v", err)
+	}
+}
+
+func TestFaultCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	fs := NewFaultFS(NewMemFS())
+	fs.ArmFault(Fault{Op: FaultOpen, N: 1, Err: boom})
+	WriteFile(fs, "f", []byte("x"))
+	if _, err := fs.Open("f"); !errors.Is(err, boom) {
+		t.Fatalf("custom error: %v", err)
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	inner := NewMemFS()
+	fs := NewSeededFaultFS(inner, 7)
+	f, err := fs.Create("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	fs.ArmFault(Fault{Op: FaultWrite, N: 1, Torn: true})
+	if _, err := f.Write([]byte("0123456789")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: %v", err)
+	}
+	data, err := ReadAll(inner, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < len("durable") || len(data) > len("durable")+10 {
+		t.Fatalf("inner length %d after torn write", len(data))
+	}
+	if string(data[:7]) != "durable" {
+		t.Fatalf("torn write damaged earlier data: %q", data)
+	}
+	// The persisted prefix must be a prefix of the torn payload.
+	if string(data[7:]) != "0123456789"[:len(data)-7] {
+		t.Fatalf("persisted tail %q is not a payload prefix", data[7:])
+	}
+}
+
+func TestPowerCutFailsEverything(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, _ := fs.Create("a")
+	f.Write([]byte("x"))
+	fs.ArmFault(Fault{Op: FaultAny, N: 1, Cut: true})
+	if _, err := fs.Create("b"); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("create at cut: %v", err)
+	}
+	if !fs.Down() {
+		t.Fatal("Down() false after cut")
+	}
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write after cut: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("sync after cut: %v", err)
+	}
+	if _, err := fs.List(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("list after cut: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close after cut must pass: %v", err)
+	}
+}
+
+func TestCrashImageDurability(t *testing.T) {
+	inner := NewMemFS()
+	fs := NewSeededFaultFS(inner, 42)
+
+	// synced: fully durable.
+	f1, _ := fs.Create("synced")
+	f1.Write([]byte("hello"))
+	f1.Sync()
+
+	// mixed: a synced prefix plus an unsynced tail.
+	f2, _ := fs.Create("mixed")
+	f2.Write([]byte("keep-"))
+	f2.Sync()
+	f2.Write([]byte("maybe-this-tail-is-lost"))
+
+	// unsynced: never synced since creation; may vanish entirely.
+	f3, _ := fs.Create("unsynced")
+	f3.Write([]byte("gone?"))
+
+	fs.ArmFault(Fault{Op: FaultAny, N: 1, Cut: true})
+	fs.Create("ignored") // trips the cut
+
+	img, err := fs.CrashImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := ReadAll(img, "synced"); err != nil || string(data) != "hello" {
+		t.Fatalf("synced file = %q, %v", data, err)
+	}
+	data, err := ReadAll(img, "mixed")
+	if err != nil {
+		t.Fatalf("mixed file: %v", err)
+	}
+	if len(data) < 5 || string(data[:5]) != "keep-" {
+		t.Fatalf("mixed file lost synced prefix: %q", data)
+	}
+	if ok, err := Exists(img, "unsynced"); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		// Allowed to survive (possibly truncated/garbled), never required.
+		if sz, _ := img.Size("unsynced"); sz > 5 {
+			t.Fatalf("unsynced file grew: %d bytes", sz)
+		}
+	}
+}
+
+func TestCrashImageDeterministic(t *testing.T) {
+	build := func(seed int64) map[string]string {
+		inner := NewMemFS()
+		fs := NewSeededFaultFS(inner, seed)
+		for _, name := range []string{"a", "b", "c"} {
+			f, _ := fs.Create(name)
+			f.Write([]byte("synced-part-"))
+			f.Sync()
+			f.Write([]byte("unsynced-tail-of-" + name))
+		}
+		fs.ArmFault(Fault{Op: FaultAny, N: 1, Cut: true})
+		fs.Size("a")
+		img, err := fs.CrashImage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]string{}
+		names, _ := img.List()
+		for _, n := range names {
+			data, _ := ReadAll(img, n)
+			out[n] = string(data)
+		}
+		return out
+	}
+	one, two := build(99), build(99)
+	if len(one) != len(two) {
+		t.Fatalf("images differ in file count: %d vs %d", len(one), len(two))
+	}
+	for n, d := range one {
+		if two[n] != d {
+			t.Fatalf("file %s differs between same-seed runs: %q vs %q", n, d, two[n])
+		}
+	}
+}
+
+func TestCrashImagePreexistingFilesDurable(t *testing.T) {
+	inner := NewMemFS()
+	if err := WriteFile(inner, "old", []byte("pre-existing")); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultFS(inner)
+	fs.ArmFault(Fault{Op: FaultAny, N: 1, Cut: true})
+	fs.Size("old")
+	img, err := fs.CrashImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := ReadAll(img, "old"); err != nil || string(data) != "pre-existing" {
+		t.Fatalf("pre-existing file = %q, %v", data, err)
+	}
+}
+
+func TestRenameMovesDurabilityTracking(t *testing.T) {
+	inner := NewMemFS()
+	fs := NewSeededFaultFS(inner, 5)
+	f, _ := fs.Create("tmp")
+	f.Write([]byte("payload"))
+	f.Sync()
+	f.Close()
+	if err := fs.Rename("tmp", "final"); err != nil {
+		t.Fatal(err)
+	}
+	fs.ArmFault(Fault{Op: FaultAny, N: 1, Cut: true})
+	fs.Size("final")
+	img, err := fs.CrashImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := ReadAll(img, "final"); err != nil || string(data) != "payload" {
+		t.Fatalf("renamed file = %q, %v", data, err)
+	}
+	if ok, _ := Exists(img, "tmp"); ok {
+		t.Fatal("old name survived the rename")
+	}
+}
+
 func TestSyncAndRenameFaults(t *testing.T) {
 	fs := NewFaultFS(NewMemFS())
 	f, _ := fs.Create("s")

@@ -53,10 +53,19 @@ type FS interface {
 	Size(name string) (int64, error)
 }
 
-// Exists reports whether name exists in fs.
-func Exists(fs FS, name string) bool {
+// Exists reports whether name exists in fs. A failed probe is distinct from
+// a missing file: only ErrNotExist maps to (false, nil); any other Size
+// error is returned so callers cannot mistake an I/O fault for absence.
+func Exists(fs FS, name string) (bool, error) {
 	_, err := fs.Size(name)
-	return err == nil
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, ErrNotExist):
+		return false, nil
+	default:
+		return false, err
+	}
 }
 
 // ReadAll reads the entire contents of a named file.

@@ -106,8 +106,11 @@ func TestFSConformance(t *testing.T) {
 			if err := fs.Rename("a", "b"); err != nil {
 				t.Fatal(err)
 			}
-			if Exists(fs, "a") || !Exists(fs, "b") {
-				t.Fatal("rename did not move the file")
+			if okA, err := Exists(fs, "a"); err != nil || okA {
+				t.Fatalf("Exists(a) = %v, %v after rename", okA, err)
+			}
+			if okB, err := Exists(fs, "b"); err != nil || !okB {
+				t.Fatalf("Exists(b) = %v, %v after rename", okB, err)
 			}
 			names, err := fs.List()
 			if err != nil {

@@ -42,7 +42,17 @@ var (
 	ErrClosed = lsm.ErrClosed
 	// ErrSnapshotReleased is returned by reads on a released Snapshot.
 	ErrSnapshotReleased = lsm.ErrSnapshotReleased
+	// ErrBackgroundError marks a sticky background failure: the store has
+	// degraded to read-only (Get and iterators keep working).
+	ErrBackgroundError = lsm.ErrBackgroundError
+	// ErrCorruption marks detected on-disk corruption; it implies
+	// ErrBackgroundError.
+	ErrCorruption = lsm.ErrCorruption
 )
+
+// BackgroundRetryPolicy bounds background retries of transient flush and
+// compaction I/O errors.
+type BackgroundRetryPolicy = lsm.BackgroundRetryPolicy
 
 // Re-exported engine types. Batch collects atomic multi-key writes;
 // Iterator scans a snapshot in key order; Stats carries cumulative
@@ -136,6 +146,10 @@ type Options struct {
 	WriteGroupMaxBytes int
 	// DisableAutoCompaction turns the background scheduler off.
 	DisableAutoCompaction bool
+	// BackgroundRetry bounds the retries of transient background I/O
+	// errors before the store degrades to read-only. Detected corruption
+	// and WAL-append failures are never retried.
+	BackgroundRetry BackgroundRetryPolicy
 	// Logf receives progress lines when set.
 	Logf func(format string, args ...any)
 }
@@ -216,6 +230,7 @@ func Open(opts Options) (*DB, error) {
 		WriteGroupMaxCount:    opts.WriteGroupMaxCount,
 		WriteGroupMaxBytes:    int64(opts.WriteGroupMaxBytes),
 		DisableAutoCompaction: opts.DisableAutoCompaction,
+		BackgroundRetry:       opts.BackgroundRetry,
 		Logf:                  opts.Logf,
 	})
 	if err != nil {
