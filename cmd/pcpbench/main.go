@@ -11,6 +11,7 @@
 //	pcpbench -schedjson f.json # write the scheduler comparison as JSON and exit
 //	pcpbench -writejson f.json # write the group-commit comparison as JSON and exit
 //	pcpbench -crashjson f.json # run the crash-consistency matrix, write the summary, exit
+//	pcpbench -readjson f.json  # write the read-under-compaction comparison as JSON and exit
 //
 // Output is the same rows/series the paper plots, as aligned text tables.
 package main
@@ -25,12 +26,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10, 11, 11b, 12, 12s, 12c, model, sched, write, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10, 11, 11b, 12, 12s, 12c, model, sched, write, read, all")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	timeScale := flag.Float64("timescale", -1, "override simulated-device time scale (1.0 = faithful)")
 	schedJSON := flag.String("schedjson", "", "run the background-scheduler comparison and write it to this file as JSON")
 	writeJSON := flag.String("writejson", "", "run the group-commit comparison and write it to this file as JSON")
 	crashJSON := flag.String("crashjson", "", "run the crash-consistency matrix and write the summary to this file as JSON")
+	readJSON := flag.String("readjson", "", "run the read-under-compaction comparison and write it to this file as JSON")
 	crashSeed := flag.Int64("crashseed", 1, "base seed for -crashjson cycles")
 	crashSeeds := flag.Int("crashseeds", 200, "number of seeded power-cut cycles for -crashjson")
 	flag.Parse()
@@ -81,6 +83,15 @@ func main() {
 		writeArtifact(*writeJSON, cmp)
 		return
 	}
+	if *readJSON != "" {
+		cmp, err := harness.RunReadComparison(sc, "ssd", sc.Fig12Entries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcpbench: read comparison: %v\n", err)
+			os.Exit(1)
+		}
+		writeArtifact(*readJSON, cmp)
+		return
+	}
 	if *crashJSON != "" {
 		sum := harness.RunCrashMatrix(*crashSeed, *crashSeeds)
 		writeArtifact(*crashJSON, sum)
@@ -109,6 +120,7 @@ func main() {
 		"model": {{"model", harness.FigModel}},
 		"sched": {{"sched", harness.FigSched}},
 		"write": {{"write", harness.FigWrite}},
+		"read":  {{"read", harness.FigRead}},
 	}
 	var runs []figure
 	if *fig == "all" {

@@ -20,12 +20,20 @@ type Key struct {
 
 // Cache is a byte-capacity-bounded sharded LRU. Safe for concurrent use.
 type Cache struct {
-	shards [numShards]shard
-	hits   atomic.Int64
-	misses atomic.Int64
+	shards    [numShards]shard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	prewarmed atomic.Int64
 }
 
 const numShards = 16
+
+// MinShardBytes is the floor each shard's capacity is clamped to: a
+// configured capacity small enough to hold no blocks (capacity/numShards
+// rounding to a few bytes) would silently cache nothing, so any positive
+// capacity guarantees at least a few blocks per shard.
+const MinShardBytes = 64 << 10
 
 type shard struct {
 	mu   sync.Mutex
@@ -41,11 +49,22 @@ type entry struct {
 }
 
 // New returns a cache holding up to capacity bytes of block data
-// (capacity/numShards per shard; a capacity below numShards bytes caches
-// nothing).
+// (capacity/numShards per shard). Any positive capacity is clamped to at
+// least MinShardBytes per shard, so a small configured capacity yields a
+// cache that actually holds blocks instead of silently caching nothing;
+// the effective total is Capacity(). A capacity <= 0 caches nothing.
 func New(capacity int64) *Cache {
-	c := &Cache{}
 	per := capacity / numShards
+	if capacity > 0 && per < MinShardBytes {
+		per = MinShardBytes
+	}
+	return newWithShardCap(per)
+}
+
+// newWithShardCap builds a cache with an exact per-shard byte capacity
+// (no clamping; tests use it to exercise eviction with tiny shards).
+func newWithShardCap(per int64) *Cache {
+	c := &Cache{}
 	for i := range c.shards {
 		c.shards[i].m = map[Key]*list.Element{}
 		c.shards[i].cap = per
@@ -104,7 +123,19 @@ func (c *Cache) Put(k Key, val []byte) {
 		s.lru.Remove(back)
 		delete(s.m, e.key)
 		s.size -= int64(len(e.val))
+		c.evictions.Add(1)
 	}
+}
+
+// PutWarm inserts a pre-warmed block: a compaction output block whose key
+// range was hot among the inputs, cached under the new table's identity
+// before the table becomes readable, so hot data never goes cold across the
+// compaction. Identical to Put except that the insertion is counted in the
+// pre-warm gauge. The admission policy (only hot ranges, bounded total
+// bytes per compaction) is enforced by the caller.
+func (c *Cache) PutWarm(k Key, val []byte) {
+	c.prewarmed.Add(1)
+	c.Put(k, val)
 }
 
 // EvictID drops every block belonging to table id (called when a table is
@@ -118,6 +149,7 @@ func (c *Cache) EvictID(id uint64) {
 				s.size -= int64(len(el.Value.(*entry).val))
 				s.lru.Remove(el)
 				delete(s.m, k)
+				c.evictions.Add(1)
 			}
 		}
 		s.mu.Unlock()
@@ -127,6 +159,23 @@ func (c *Cache) EvictID(id uint64) {
 // Stats returns cumulative hit/miss counts.
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Evictions returns the cumulative count of entries dropped — by capacity
+// pressure in Put or by EvictID when a table is deleted.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// Prewarmed returns the cumulative count of blocks inserted via PutWarm.
+func (c *Cache) Prewarmed() int64 { return c.prewarmed.Load() }
+
+// Capacity returns the effective total byte capacity (after per-shard
+// clamping).
+func (c *Cache) Capacity() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].cap
+	}
+	return total
 }
 
 // Size returns the current cached byte volume.

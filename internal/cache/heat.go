@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+)
+
+// Heat tracks read-path access frequency over block key spans. Each data
+// block the read path loads contributes one sample — its last key — so the
+// map approximates "which key ranges are hot" at block granularity while
+// staying independent of table file numbers: when a compaction rewrites hot
+// data into new files, the samples still describe the key space and can be
+// matched against the output blocks' key ranges.
+//
+// Counts decay by halving every decayInterval touches per shard, so the map
+// tracks the current working set rather than all history, and stale samples
+// (key ranges that went cold or were deleted) fade out and are pruned.
+// Memory is bounded by maxSamples per shard. Safe for concurrent use.
+type Heat struct {
+	shards [numShards]heatShard
+}
+
+type heatShard struct {
+	mu     sync.Mutex
+	counts map[string]uint32
+	ops    int
+}
+
+const (
+	// decayInterval is the per-shard touch count between halvings.
+	decayInterval = 4096
+	// maxSamples bounds each shard's sample map; beyond it, decay runs
+	// early and (if still full) pseudo-random samples are dropped.
+	maxSamples = 4096
+)
+
+// NewHeat returns an empty heat map.
+func NewHeat() *Heat {
+	h := &Heat{}
+	for i := range h.shards {
+		h.shards[i].counts = map[string]uint32{}
+	}
+	return h
+}
+
+// Touch records one access to the block whose span ends at key. The caller
+// chooses the key form (the LSM layer passes user keys) and must use the
+// same form when querying the snapshot.
+func (h *Heat) Touch(key []byte) {
+	s := &h.shards[hashBytes(key)%numShards]
+	s.mu.Lock()
+	s.counts[string(key)]++
+	s.ops++
+	if s.ops >= decayInterval || len(s.counts) > maxSamples {
+		s.decayLocked()
+	}
+	s.mu.Unlock()
+}
+
+// decayLocked halves every count, prunes zeros, and enforces maxSamples.
+func (s *heatShard) decayLocked() {
+	s.ops = 0
+	for k, c := range s.counts {
+		c /= 2
+		if c == 0 {
+			delete(s.counts, k)
+		} else {
+			s.counts[k] = c
+		}
+	}
+	// Still over budget (every sample hot): drop pseudo-random samples.
+	// Losing a few hot samples only costs a missed pre-warm, never
+	// correctness.
+	for k := range s.counts {
+		if len(s.counts) <= maxSamples {
+			break
+		}
+		delete(s.counts, k)
+	}
+}
+
+// Len returns the current number of samples (for tests and gauges).
+func (h *Heat) Len() int {
+	n := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		n += len(s.counts)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot returns the sorted set of up to limit sample keys whose count is
+// at least minCount, hottest first when truncating — the "hot set" a
+// compaction consults when deciding which output blocks to pre-warm. The
+// limit is the admission guard: sized to a fraction of the block cache, it
+// keeps a compaction from warming the long tail of mildly-touched ranges
+// and flushing the true working set. limit <= 0 means unlimited. The
+// snapshot is immutable and safe to query while touches continue.
+func (h *Heat) Snapshot(minCount uint32, limit int) *HotSet {
+	type sample struct {
+		key   []byte
+		count uint32
+	}
+	var all []sample
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		for k, c := range s.counts {
+			if c >= minCount {
+				all = append(all, sample{[]byte(k), c})
+			}
+		}
+		s.mu.Unlock()
+	}
+	if limit > 0 && len(all) > limit {
+		sort.Slice(all, func(i, j int) bool { return all[i].count > all[j].count })
+		all = all[:limit]
+	}
+	hs := &HotSet{keys: make([][]byte, len(all))}
+	for i, s := range all {
+		hs.keys[i] = s.key
+	}
+	sort.Slice(hs.keys, func(i, j int) bool {
+		return bytes.Compare(hs.keys[i], hs.keys[j]) < 0
+	})
+	return hs
+}
+
+// HotSet is an immutable sorted snapshot of hot sample keys.
+type HotSet struct {
+	keys [][]byte
+}
+
+// Len returns the number of hot samples.
+func (hs *HotSet) Len() int { return len(hs.keys) }
+
+// AnyInRange reports whether some hot sample falls inside [first, last]
+// (inclusive, bytewise order — the LSM layer passes user keys).
+func (hs *HotSet) AnyInRange(first, last []byte) bool {
+	idx := sort.Search(len(hs.keys), func(i int) bool {
+		return bytes.Compare(hs.keys[i], first) >= 0
+	})
+	return idx < len(hs.keys) && bytes.Compare(hs.keys[idx], last) <= 0
+}
+
+// hashBytes is FNV-1a, inlined to keep Touch allocation-free.
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

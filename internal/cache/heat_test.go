@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHeatHotSetRange(t *testing.T) {
+	h := NewHeat()
+	for i := 0; i < 5; i++ {
+		h.Touch([]byte("key050")) // hot
+	}
+	h.Touch([]byte("key200")) // touched once: below threshold 2
+
+	hs := h.Snapshot(2, 0)
+	if hs.Len() != 1 {
+		t.Fatalf("hot set has %d samples, want 1", hs.Len())
+	}
+	cases := []struct {
+		first, last string
+		want        bool
+	}{
+		{"key000", "key100", true},  // spans the hot sample
+		{"key050", "key050", true},  // exact bounds
+		{"key051", "key300", false}, // starts past it (key200 is cold)
+		{"key000", "key049", false}, // ends before it
+	}
+	for _, c := range cases {
+		if got := hs.AnyInRange([]byte(c.first), []byte(c.last)); got != c.want {
+			t.Errorf("AnyInRange(%q, %q) = %v, want %v", c.first, c.last, got, c.want)
+		}
+	}
+}
+
+func TestHeatSnapshotLimitKeepsHottest(t *testing.T) {
+	h := NewHeat()
+	touch := func(key string, n int) {
+		for i := 0; i < n; i++ {
+			h.Touch([]byte(key))
+		}
+	}
+	touch("key300", 10)
+	touch("key100", 6)
+	touch("key200", 3)
+
+	hs := h.Snapshot(2, 2)
+	if hs.Len() != 2 {
+		t.Fatalf("hot set has %d samples, want 2", hs.Len())
+	}
+	// The two hottest survive the cap and stay queryable in key order.
+	if !hs.AnyInRange([]byte("key100"), []byte("key100")) ||
+		!hs.AnyInRange([]byte("key300"), []byte("key300")) {
+		t.Fatal("a top-2 sample missing from the capped hot set")
+	}
+	if hs.AnyInRange([]byte("key200"), []byte("key200")) {
+		t.Fatal("coldest sample survived a limit-2 snapshot")
+	}
+}
+
+func TestHeatDecayFadesStaleSamples(t *testing.T) {
+	h := NewHeat()
+	for i := 0; i < 8; i++ {
+		h.Touch([]byte("hot"))
+	}
+	h.Touch([]byte("stale"))
+	s := &h.shards[hashBytes([]byte("stale"))%numShards]
+	s.mu.Lock()
+	s.decayLocked() // stale: 1 → pruned; hot (if same shard): 8 → 4
+	_, alive := s.counts["stale"]
+	s.mu.Unlock()
+	if alive {
+		t.Fatal("count-1 sample survived a decay")
+	}
+	hs := h.Snapshot(2, 0)
+	if !hs.AnyInRange([]byte("hot"), []byte("hot")) {
+		t.Fatal("repeatedly-touched sample fell out of the hot set after one decay")
+	}
+}
+
+func TestHeatBoundedSamples(t *testing.T) {
+	h := NewHeat()
+	for i := 0; i < 40*maxSamples; i++ {
+		h.Touch([]byte(fmt.Sprintf("key%08d", i)))
+	}
+	if n := h.Len(); n > numShards*maxSamples {
+		t.Fatalf("heat map grew to %d samples (cap %d)", n, numShards*maxSamples)
+	}
+}
+
+func TestHeatConcurrent(t *testing.T) {
+	h := NewHeat()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Touch([]byte(fmt.Sprintf("key%06d", (seed*31+i)%997)))
+				if i%100 == 0 {
+					h.Snapshot(2, 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Snapshot(1, 0).Len() == 0 {
+		t.Fatal("no samples after concurrent touches")
+	}
+}

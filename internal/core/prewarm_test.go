@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pcplsm/internal/block"
+	"pcplsm/internal/ikey"
+	"pcplsm/internal/sstable"
+	"pcplsm/internal/storage"
+)
+
+// TestWarmOutputDeliversHotBlocks: blocks whose key range HotRange marks
+// hot are handed to WarmOutput with the exact plain contents and file
+// offset of the landed block; cold blocks are not.
+func TestWarmOutputDeliversHotBlocks(t *testing.T) {
+	fs := storage.NewMemFS()
+	var lower, upper []kv
+	for i := 0; i < 600; i++ {
+		lower = append(lower, kv{fmt.Sprintf("user%05d", i), 10, ikey.KindSet, fmt.Sprintf("old-%05d", i)})
+		if i%3 == 0 {
+			upper = append(upper, kv{fmt.Sprintf("user%05d", i), 20, ikey.KindSet, fmt.Sprintf("new-%05d", i)})
+		}
+	}
+	inputs := []*TableSource{
+		buildInputTable(t, fs, "lower.sst", lower, 512),
+		buildInputTable(t, fs, "upper.sst", upper, 512),
+	}
+
+	// Hot range: user keys in [user00100, user00200].
+	hotLo, hotHi := []byte("user00100"), []byte("user00200")
+	type warm struct {
+		name   string
+		offset int64
+		plain  []byte
+	}
+	var mu sync.Mutex
+	var warms []warm
+	cfg := Config{
+		Mode:        ModePCP,
+		SubtaskSize: 8 << 10,
+		HotRange: func(first, last []byte) bool {
+			return bytes.Compare(ikey.UserKey(last), hotLo) >= 0 &&
+				bytes.Compare(ikey.UserKey(first), hotHi) <= 0
+		},
+		WarmOutput: func(name string, offset int64, plain []byte) {
+			mu.Lock()
+			warms = append(warms, warm{name, offset, append([]byte(nil), plain...)})
+			mu.Unlock()
+		},
+	}
+	res, err := Run(cfg, inputs, memSink(fs, "out-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warms) == 0 {
+		t.Fatal("no blocks warmed despite a hot range")
+	}
+
+	// Every warmed block must byte-match the plain contents of the block at
+	// that offset of the named output table, and every warmed block's keys
+	// must intersect the hot range.
+	for _, o := range res.Outputs {
+		f, err := fs.Open(o.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sstable.NewReader(f, ikey.Compare)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles := map[int64]sstable.BlockHandle{}
+		for _, e := range r.IndexEntries() {
+			handles[e.Handle.Offset] = e.Handle
+		}
+		for _, w := range warms {
+			if w.name != o.Name {
+				continue
+			}
+			h, ok := handles[w.offset]
+			if !ok {
+				t.Fatalf("warmed offset %d is not a block boundary of %s", w.offset, w.name)
+			}
+			plain, err := r.ReadBlockData(nil, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(plain, w.plain) {
+				t.Fatalf("warmed contents differ from on-disk block at %s+%d", w.name, w.offset)
+			}
+			bi, err := block.NewIter(plain, ikey.Compare)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bi.First() {
+				t.Fatal("warmed block is empty")
+			}
+			first := append([]byte(nil), ikey.UserKey(bi.Key())...)
+			var last []byte
+			for ok := true; ok; ok = bi.Next() {
+				last = append(last[:0], ikey.UserKey(bi.Key())...)
+			}
+			if bytes.Compare(last, hotLo) < 0 || bytes.Compare(first, hotHi) > 0 {
+				t.Fatalf("cold block [%s, %s] was warmed", first, last)
+			}
+		}
+		r.Close()
+	}
+
+	// Cold ranges must not be warmed: count warmed blocks vs total output
+	// blocks — the hot range covers ~1/6 of the key space.
+	total := 0
+	for _, o := range res.Outputs {
+		total += o.Meta.DataBlocks
+	}
+	if len(warms) >= total {
+		t.Fatalf("all %d output blocks warmed; admission by heat is not selective", total)
+	}
+}
+
+// TestNoWarmWithoutHooks: the engine carries no plain blocks when the
+// hooks are absent (the default path stays allocation-identical).
+func TestNoWarmWithoutHooks(t *testing.T) {
+	fs := storage.NewMemFS()
+	var entries []kv
+	for i := 0; i < 200; i++ {
+		entries = append(entries, kv{fmt.Sprintf("user%05d", i), 5, ikey.KindSet, "v"})
+	}
+	inputs := []*TableSource{buildInputTable(t, fs, "in.sst", entries, 512)}
+	res, err := Run(Config{Mode: ModeSCP}, inputs, memSink(fs, "out-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) == 0 {
+		t.Fatal("no outputs")
+	}
+}

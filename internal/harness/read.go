@@ -1,0 +1,328 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"pcplsm/internal/core"
+	"pcplsm/internal/lsm"
+	"pcplsm/internal/workload"
+)
+
+// ReadConfig describes one read-mostly run against a store under sustained
+// compaction: a sequential load, a zipfian point-read phase that warms the
+// block cache, a measured zipfian read phase with a concurrent uniform
+// writer forcing compactions that rewrite the hot ranges, and a final full
+// scan. The PreWarm and Readahead knobs are what the comparison toggles.
+type ReadConfig struct {
+	Device     string
+	TimeScale  float64
+	Entries    int   // sequentially-loaded key space (every key present)
+	CacheBytes int64 // block-cache capacity
+	PreWarm    bool  // compaction-surviving cache on/off
+	Readahead  int   // scan readahead blocks; <= 0 disables
+	Engine     core.Config
+}
+
+// ReadResult records one run's read-path metrics.
+type ReadResult struct {
+	PreWarm   bool `json:"prewarm"`
+	Readahead int  `json:"readahead"`
+
+	// PreHitRate is the block-cache hit rate of zipfian reads after warm-up
+	// but before any compaction churn.
+	PreHitRate float64 `json:"pre_hit_rate"`
+	// MinWindowHitRate is the worst per-window hit rate observed during the
+	// measured phase — the depth of the post-compaction cache cliff.
+	MinWindowHitRate float64 `json:"min_window_hit_rate"`
+	// FinalHitRate aggregates the whole measured phase.
+	FinalHitRate float64 `json:"final_hit_rate"`
+	// ReadP99Micros is the 99th-percentile point-read latency of the
+	// measured phase, in microseconds.
+	ReadP99Micros float64 `json:"read_p99_micros"`
+	// ScanKeysPerSec is the full-scan throughput after the churn settles.
+	ScanKeysPerSec float64 `json:"scan_keys_per_sec"`
+
+	Compactions int64 `json:"compactions"`
+	Prewarmed   int64 `json:"prewarmed_blocks"`
+	Evictions   int64 `json:"evictions"`
+}
+
+// readHitRate returns the hit fraction of the stats delta since prev.
+func readHitRate(prev, cur lsm.Stats) float64 {
+	h := cur.BlockCacheHits - prev.BlockCacheHits
+	m := cur.BlockCacheMisses - prev.BlockCacheMisses
+	if h+m == 0 {
+		return 1
+	}
+	return float64(h) / float64(h+m)
+}
+
+// RunRead executes one configuration and returns its metrics.
+func RunRead(cfg ReadConfig) (ReadResult, error) {
+	res := ReadResult{PreWarm: cfg.PreWarm, Readahead: cfg.Readahead}
+	env, err := newSimEnv(cfg.Device, 1, false, cfg.TimeScale)
+	if err != nil {
+		return res, err
+	}
+	engine := cfg.Engine
+	if engine.SubtaskSize == 0 {
+		engine.SubtaskSize = 64 << 10
+	}
+	ra := cfg.Readahead
+	if ra <= 0 {
+		ra = -1 // Options treats 0 as "default", negative as "off"
+	}
+	db, err := lsm.Open(lsm.Options{
+		FS:                  env.fs,
+		MemtableSize:        128 << 10,
+		TableSize:           128 << 10,
+		BlockSize:           defaultBlockSize,
+		BaseLevelSize:       512 << 10,
+		LevelMultiplier:     4,
+		L0CompactionTrigger: 4,
+		L0StallTrigger:      8,
+		Compaction:          engine,
+		BlockCacheBytes:     cfg.CacheBytes,
+		DisableCachePreWarm: !cfg.PreWarm,
+		ScanReadahead:       ra,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer db.Close()
+
+	// Load: every key in [0, Entries) present exactly once, then settle.
+	load := workload.New(workload.Config{
+		Entries:   cfg.Entries,
+		KeySize:   defaultKeySize,
+		ValueSize: defaultValueSize,
+		KeySpace:  cfg.Entries,
+		Dist:      workload.Sequential,
+		Seed:      1,
+	})
+	for {
+		k, v, ok := load.Next()
+		if !ok {
+			break
+		}
+		if err := db.Put(k, v); err != nil {
+			return res, err
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		return res, err
+	}
+
+	// Zipfian read stream over the loaded key space: a small hot set whose
+	// covering blocks the cache should retain.
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.1, 1, uint64(cfg.Entries-1))
+	readOne := func() (time.Duration, error) {
+		k := workload.FormatKey(zipf.Uint64(), defaultKeySize)
+		t0 := time.Now()
+		_, err := db.Get(k)
+		return time.Since(t0), err
+	}
+
+	// Warm-up plus pre-churn measurement: the hit rate the measured phase is
+	// judged against.
+	warm := cfg.Entries / 2
+	for i := 0; i < warm; i++ {
+		if _, err := readOne(); err != nil {
+			return res, err
+		}
+	}
+	preStart := db.Stats()
+	for i := 0; i < warm/4; i++ {
+		if _, err := readOne(); err != nil {
+			return res, err
+		}
+	}
+	preEnd := db.Stats()
+	res.PreHitRate = readHitRate(preStart, preEnd)
+
+	// Measured phase: zipfian reads while a uniform writer rewrites the key
+	// space, driving flushes and compactions through the hot ranges.
+	var writerErr atomic.Value
+	writerDone := make(chan struct{})
+	stopWriter := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		wgen := workload.New(workload.Config{
+			Entries:   cfg.Entries,
+			KeySize:   defaultKeySize,
+			ValueSize: defaultValueSize,
+			KeySpace:  cfg.Entries,
+			Seed:      2,
+		})
+		for {
+			select {
+			case <-stopWriter:
+				return
+			default:
+			}
+			k, v, ok := wgen.Next()
+			if !ok {
+				return
+			}
+			if err := db.Put(k, v); err != nil {
+				writerErr.Store(err)
+				return
+			}
+		}
+	}()
+
+	const window = 500
+	reads := cfg.Entries
+	lat := make([]float64, 0, reads)
+	res.MinWindowHitRate = 1
+	phaseStart := db.Stats()
+	winStart := phaseStart
+	for i := 0; i < reads; i++ {
+		d, err := readOne()
+		if err != nil {
+			return res, err
+		}
+		lat = append(lat, float64(d.Microseconds()))
+		if (i+1)%window == 0 {
+			winEnd := db.Stats()
+			if hr := readHitRate(winStart, winEnd); hr < res.MinWindowHitRate {
+				res.MinWindowHitRate = hr
+			}
+			winStart = winEnd
+		}
+	}
+	close(stopWriter)
+	<-writerDone
+	if err, _ := writerErr.Load().(error); err != nil {
+		return res, err
+	}
+	if err := db.WaitIdle(); err != nil {
+		return res, err
+	}
+	phaseEnd := db.Stats()
+	res.FinalHitRate = readHitRate(phaseStart, phaseEnd)
+	sort.Float64s(lat)
+	res.ReadP99Micros = lat[len(lat)*99/100]
+	res.Compactions = phaseEnd.Compactions
+	res.Prewarmed = phaseEnd.BlockCachePrewarmed
+	res.Evictions = phaseEnd.BlockCacheEvictions
+
+	// Scan phase on the settled tree. The iterator opens private, uncached
+	// readers, so this isolates the readahead pipeline.
+	it, err := db.NewIterator()
+	if err != nil {
+		return res, err
+	}
+	t0 := time.Now()
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		it.Close()
+		return res, err
+	}
+	it.Close()
+	if sec := time.Since(t0).Seconds(); sec > 0 {
+		res.ScanKeysPerSec = float64(n) / sec
+	}
+	return res, nil
+}
+
+// ReadComparison is the recorded artifact (BENCH_PR6.json): the same
+// read-mostly workload under sustained compaction without (baseline) and
+// with the compaction-surviving cache plus scan readahead.
+type ReadComparison struct {
+	Experiment string     `json:"experiment"`
+	Device     string     `json:"device"`
+	TimeScale  float64    `json:"time_scale"`
+	Entries    int        `json:"entries"`
+	CacheBytes int64      `json:"cache_bytes"`
+	Baseline   ReadResult `json:"baseline"`
+	PreWarmed  ReadResult `json:"prewarm_readahead"`
+	// HitRateDrop is PreHitRate − MinWindowHitRate per run, in points: the
+	// depth of the cache cliff compactions punch into the hit rate.
+	BaselineHitRateDrop float64 `json:"baseline_hit_rate_drop"`
+	PreWarmHitRateDrop  float64 `json:"prewarm_hit_rate_drop"`
+	// ScanSpeedup is prewarmed/baseline scan throughput − 1.
+	ScanSpeedup float64 `json:"scan_speedup"`
+	// P99Reduction is 1 − prewarmed/baseline read p99.
+	P99Reduction float64 `json:"p99_reduction"`
+}
+
+// RunReadComparison runs the baseline (no pre-warm, no readahead) and the
+// tuned (pre-warm + readahead 4) configurations over the same workload.
+func RunReadComparison(sc Scale, dev string, entries int) (ReadComparison, error) {
+	cmp := ReadComparison{
+		Experiment: "zipfian point reads under sustained compaction + full scan: plain cache vs compaction-surviving cache with scan readahead",
+		Device:     dev,
+		TimeScale:  sc.TimeScale,
+		Entries:    entries,
+		// Sized so the zipfian working set fits: steady-state misses then come
+		// only from compaction churn, which is the effect under test.
+		CacheBytes: 4 << 20,
+	}
+	base := ReadConfig{
+		Device:     dev,
+		TimeScale:  sc.TimeScale,
+		Entries:    entries,
+		CacheBytes: cmp.CacheBytes,
+		Engine:     sc.engine(core.Config{Mode: core.ModePCP}),
+	}
+	var err error
+	if cmp.Baseline, err = RunRead(base); err != nil {
+		return cmp, err
+	}
+	tuned := base
+	tuned.PreWarm = true
+	tuned.Readahead = 4
+	if cmp.PreWarmed, err = RunRead(tuned); err != nil {
+		return cmp, err
+	}
+	cmp.BaselineHitRateDrop = cmp.Baseline.PreHitRate - cmp.Baseline.MinWindowHitRate
+	cmp.PreWarmHitRateDrop = cmp.PreWarmed.PreHitRate - cmp.PreWarmed.MinWindowHitRate
+	if cmp.Baseline.ScanKeysPerSec > 0 {
+		cmp.ScanSpeedup = cmp.PreWarmed.ScanKeysPerSec/cmp.Baseline.ScanKeysPerSec - 1
+	}
+	if cmp.Baseline.ReadP99Micros > 0 {
+		cmp.P99Reduction = 1 - cmp.PreWarmed.ReadP99Micros/cmp.Baseline.ReadP99Micros
+	}
+	return cmp, nil
+}
+
+// FigRead renders the read comparison as a pcpbench table.
+func FigRead(sc Scale) (*Table, error) {
+	cmp, err := RunReadComparison(sc, "ssd", sc.Fig12Entries)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "read path under compaction: baseline vs pre-warm + readahead",
+		Columns: []string{"config", "pre_hit", "min_win_hit", "final_hit", "p99_us", "scan_keys/s", "prewarmed", "compactions"},
+	}
+	for _, r := range []ReadResult{cmp.Baseline, cmp.PreWarmed} {
+		name := "baseline"
+		if r.PreWarm {
+			name = fmt.Sprintf("prewarm+ra%d", r.Readahead)
+		}
+		t.AddRow(
+			name,
+			fmt.Sprintf("%.3f", r.PreHitRate),
+			fmt.Sprintf("%.3f", r.MinWindowHitRate),
+			fmt.Sprintf("%.3f", r.FinalHitRate),
+			fmt.Sprintf("%.0f", r.ReadP99Micros),
+			fmt.Sprintf("%.0f", r.ScanKeysPerSec),
+			fmt.Sprintf("%d", r.Prewarmed),
+			fmt.Sprintf("%d", r.Compactions),
+		)
+	}
+	t.Note("hit-rate drop through compactions: baseline %.1f points, pre-warm %.1f points; scan speedup %.0f%%, p99 reduction %.0f%%",
+		cmp.BaselineHitRateDrop*100, cmp.PreWarmHitRateDrop*100,
+		cmp.ScanSpeedup*100, cmp.P99Reduction*100)
+	return t, nil
+}

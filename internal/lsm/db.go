@@ -26,6 +26,11 @@ var ErrClosed = errors.New("lsm: database is closed")
 // ErrNotFound is returned by Get when the key does not exist.
 var ErrNotFound = errors.New("lsm: key not found")
 
+// heatHotThreshold is the minimum access count that marks a block key range
+// hot for compaction pre-warming. 2 keeps one-pass scans (each block touched
+// exactly once) from flagging the whole key space.
+const heatHotThreshold = 2
+
 // walFileName renders the name of WAL number num.
 func walFileName(num uint64) string { return fmt.Sprintf("%06d.log", num) }
 
@@ -35,6 +40,7 @@ type DB struct {
 	fs     storage.FS
 	vs     *versionSet
 	bcache *cache.Cache
+	heat   *cache.Heat // nil when pre-warm is disabled or there is no cache
 	cache  *tableCache
 	man    *manifest
 	stats  statsCollector
@@ -117,8 +123,12 @@ func Open(opts Options) (*DB, error) {
 		return nil, errors.New("lsm: Options.FS is required")
 	}
 	var blockCache *cache.Cache
+	var heat *cache.Heat
 	if opts.BlockCacheBytes > 0 {
 		blockCache = cache.New(opts.BlockCacheBytes)
+		if !opts.DisableCachePreWarm {
+			heat = cache.NewHeat()
+		}
 	}
 	reg := opts.Metrics
 	if reg == nil {
@@ -129,7 +139,8 @@ func Open(opts Options) (*DB, error) {
 		fs:             opts.FS,
 		vs:             newVersionSet(),
 		bcache:         blockCache,
-		cache:          newTableCache(opts.FS, blockCache),
+		heat:           heat,
+		cache:          newTableCache(opts.FS, blockCache, heat),
 		mem:            memtable.New(),
 		snapshots:      map[uint64]int{},
 		claimedFiles:   map[uint64]struct{}{},
@@ -573,6 +584,10 @@ func (db *DB) Stats() Stats {
 	s := db.stats.snapshot()
 	if db.bcache != nil {
 		s.BlockCacheHits, s.BlockCacheMisses = db.bcache.Stats()
+		s.BlockCacheEvictions = db.bcache.Evictions()
+		s.BlockCachePrewarmed = db.bcache.Prewarmed()
+		s.BlockCacheBytes = db.bcache.Size()
+		s.BlockCacheCapacity = db.bcache.Capacity()
 	}
 	return s
 }
@@ -602,6 +617,12 @@ func (db *DB) Metrics() *metrics.Registry {
 	db.reg.Gauge("lsm_background_retries").Set(s.BackgroundRetries)
 	db.reg.Gauge("lsm_background_errors").Set(s.BackgroundErrors)
 	db.reg.Gauge("lsm_corruptions_detected").Set(s.CorruptionsDetected)
+	db.reg.Gauge("lsm_block_cache_hits").Set(s.BlockCacheHits)
+	db.reg.Gauge("lsm_block_cache_misses").Set(s.BlockCacheMisses)
+	db.reg.Gauge("lsm_block_cache_evictions").Set(s.BlockCacheEvictions)
+	db.reg.Gauge("lsm_block_cache_bytes").Set(s.BlockCacheBytes)
+	db.reg.Gauge("lsm_block_cache_capacity").Set(s.BlockCacheCapacity)
+	db.reg.Gauge("lsm_block_cache_prewarmed").Set(s.BlockCachePrewarmed)
 	return db.reg
 }
 
@@ -892,6 +913,37 @@ func (db *DB) runCompaction(pc *pickedCompaction) error {
 		if len(v.overlapping(level, smallest, largest)) > 0 {
 			cfg.DropTombstones = false
 			break
+		}
+	}
+
+	// Compaction-surviving cache: snapshot the read heat and have the write
+	// stage hand back (still in memory, already decompressed) every output
+	// block covering a hot range, inserted under the new table's identity
+	// before the version edit installs. Cold output is never admitted, and
+	// at most half the cache may be pre-warmed by one compaction so a large
+	// merge cannot flush an unrelated working set.
+	if db.heat != nil {
+		// Cap the hot set at a quarter of the cache's block count: only the
+		// hottest ranges are worth re-admitting, and a loose set would churn
+		// the cache with zipf-tail blocks that were touched a couple of times.
+		hotLimit := int(db.bcache.Capacity() / int64(4*db.opts.BlockSize))
+		if hotLimit < 1 {
+			hotLimit = 1
+		}
+		if hot := db.heat.Snapshot(heatHotThreshold, hotLimit); hot.Len() > 0 {
+			var warmedBytes atomic.Int64
+			budget := db.bcache.Capacity() / 2
+			cfg.HotRange = func(first, last []byte) bool {
+				return hot.AnyInRange(ikey.UserKey(first), ikey.UserKey(last))
+			}
+			cfg.WarmOutput = func(name string, offset int64, plain []byte) {
+				if warmedBytes.Add(int64(len(plain))) > budget {
+					return
+				}
+				if num, perr := parseTableNum(name); perr == nil {
+					db.bcache.PutWarm(cache.Key{ID: num, Offset: offset}, plain)
+				}
+			}
 		}
 	}
 

@@ -43,6 +43,7 @@ type Iterator struct {
 	db      *DB // for corruption classification on source errors
 	sources []internalIterator
 	readers []*sstable.Reader // owned table readers, closed on Close
+	titers  []*sstable.Iter   // table iterators, closed (prefetches drained) first
 	snap    uint64
 
 	key, val []byte
@@ -109,15 +110,24 @@ func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
 				return nil, db.noteReadError(err)
 			}
 			it.readers = append(it.readers, r)
-			it.sources = append(it.sources, r.NewIter())
+			ti := r.NewIter()
+			ti.SetReadahead(db.opts.ScanReadahead)
+			it.titers = append(it.titers, ti)
+			it.sources = append(it.sources, ti)
 		}
 	}
 	return it, nil
 }
 
-// Close releases the iterator's table handles.
+// Close releases the iterator's table handles. Table iterators are closed
+// first: that drains their in-flight readahead fetches, so no prefetch can
+// race a reader close below.
 func (it *Iterator) Close() error {
 	var first error
+	for _, ti := range it.titers {
+		ti.Close()
+	}
+	it.titers = nil
 	for _, r := range it.readers {
 		if err := r.Close(); err != nil && first == nil {
 			first = err

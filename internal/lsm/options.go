@@ -64,8 +64,30 @@ type Options struct {
 	BloomBitsPerKey int
 	// BlockCacheBytes caps the decompressed-block cache serving point
 	// reads. 0 selects the default of 8 MiB; a negative value disables the
-	// cache. Compaction I/O always bypasses it.
+	// cache. Positive values are clamped to at least cache.MinShardBytes
+	// per shard (1 MiB total for the 16-shard cache) — smaller settings
+	// used to round to a per-shard capacity of a few bytes and silently
+	// cache nothing. Compaction I/O always bypasses the cache on the read
+	// side; on the write side, hot output blocks are pre-warmed into it
+	// (see DisableCachePreWarm).
 	BlockCacheBytes int64
+
+	// DisableCachePreWarm turns off the compaction-surviving cache: by
+	// default the DB tracks per-key-range read heat and, when a compaction
+	// output block covers a hot range, inserts the block (already in memory
+	// inside the compaction pipeline) into the block cache under the new
+	// table's identity before the version edit installs — so hot data never
+	// goes cold across a compaction. Cold output is never admitted, and at
+	// most half the cache's capacity is pre-warmed per compaction, so
+	// compaction output cannot flush the read working set.
+	DisableCachePreWarm bool
+
+	// ScanReadahead is the number of data blocks each table iterator in a
+	// scan prefetches (fetch + verify + decompress, pipelined) ahead of the
+	// current position, overlapping scan I/O with iteration. 0 selects the
+	// default of 2; a negative value disables readahead. Point reads never
+	// read ahead.
+	ScanReadahead int
 
 	// PipelinedFlush overlaps memtable-dump block building (CPU) with
 	// table writes (I/O), extending the paper's pipelining idea to the
@@ -178,6 +200,12 @@ func (o Options) withDefaults() Options {
 		o.BlockCacheBytes = 8 << 20
 	case o.BlockCacheBytes < 0:
 		o.BlockCacheBytes = 0
+	}
+	switch {
+	case o.ScanReadahead == 0:
+		o.ScanReadahead = 2
+	case o.ScanReadahead < 0:
+		o.ScanReadahead = 0
 	}
 	// Push DB-level format settings into the compaction config.
 	o.Compaction.BlockSize = o.BlockSize

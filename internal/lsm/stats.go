@@ -21,6 +21,14 @@ type Stats struct {
 	// BlockCacheHits/Misses count block-cache lookups on the read path.
 	BlockCacheHits   int64
 	BlockCacheMisses int64
+	// BlockCacheEvictions counts blocks dropped from the cache (capacity
+	// pressure plus dead-table eviction); BlockCachePrewarmed counts
+	// compaction output blocks the pre-warm path inserted.
+	BlockCacheEvictions int64
+	BlockCachePrewarmed int64
+	// BlockCacheBytes/Capacity are the cache's current fill and limit.
+	BlockCacheBytes    int64
+	BlockCacheCapacity int64
 
 	// Flushes counts memtable→L0 dumps; FlushBytes their output volume.
 	Flushes    int64

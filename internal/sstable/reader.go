@@ -30,8 +30,9 @@ type Reader struct {
 	filterOnce   sync.Once
 	filter       []byte // loaded lazily; nil if absent or unreadable
 
-	bcache  *cache.Cache
-	cacheID uint64
+	bcache   *cache.Cache
+	cacheID  uint64
+	onAccess func(blockLastKey []byte)
 }
 
 // SetBlockCache attaches a shared block cache; id must uniquely identify
@@ -41,6 +42,15 @@ type Reader struct {
 func (r *Reader) SetBlockCache(c *cache.Cache, id uint64) {
 	r.bcache = c
 	r.cacheID = id
+}
+
+// SetAccessHook installs a callback invoked with a block's last key each
+// time the read path loads that data block (cache hit or miss). The LSM
+// layer uses it to feed the key-range heat map that guides compaction-time
+// cache pre-warming. The hook must be cheap and safe for concurrent use;
+// the key slice is owned by the reader and must not be retained.
+func (r *Reader) SetAccessHook(f func(blockLastKey []byte)) {
+	r.onAccess = f
 }
 
 // NewReader opens a table: it reads the footer, loads and parses the index
@@ -225,11 +235,166 @@ type Iter struct {
 	bi       *block.Iter
 	buf      []byte
 	err      error
+
+	// Readahead pipeline: while the caller consumes the blocks of one
+	// fetched span, a single goroutine fetches + verifies + decompresses the
+	// next ra blocks with ONE contiguous read, so a scan overlaps its I/O
+	// with iteration (the paper's pipelining idea applied to the read path)
+	// and the device sees one large sequential request per span instead of
+	// ra competing small ones. The fetch owns a 1-buffered channel, so an
+	// abandoned span (after Seek, or at Close) completes and is collected
+	// without blocking anyone.
+	ra        int
+	fetched   [][]byte // decoded blocks fetchedLo … fetchedLo+len−1
+	fetchedLo int
+	inflight  *prefetch
+	stale     []*prefetch // abandoned fetches, drained at Close
+}
+
+// prefetch is one in-flight span fetch covering blocks [lo, hi].
+type prefetch struct {
+	lo, hi int
+	ch     chan prefetchResult
+}
+
+type prefetchResult struct {
+	plains [][]byte // per block lo…hi
+	err    error
 }
 
 // NewIter returns an iterator positioned before the first entry.
 func (r *Reader) NewIter() *Iter {
 	return &Iter{r: r, blockIdx: -1}
+}
+
+// SetReadahead sets the number of data blocks the iterator prefetches
+// (fetch + verify + decompress, concurrently) ahead of its position during
+// forward iteration. 0 disables readahead. Callers that enable it should
+// Close the iterator so outstanding prefetches are drained before the
+// underlying file is closed.
+func (it *Iter) SetReadahead(n int) {
+	if n < 0 {
+		n = 0
+	}
+	it.ra = n
+}
+
+// Close drains outstanding prefetches. The iterator must not be used
+// afterwards. It never returns an error; the signature exists so callers
+// can defer it alongside reader closes.
+func (it *Iter) Close() {
+	if it.inflight != nil {
+		<-it.inflight.ch // each fetch always sends exactly one result
+		it.inflight = nil
+	}
+	for _, p := range it.stale {
+		<-p.ch
+	}
+	it.stale = nil
+	it.fetched = nil
+	it.bi = nil
+}
+
+// scheduleReadahead keeps one span fetch in flight covering the ra blocks
+// after whatever is already fetched, starting no earlier than cur+1.
+func (it *Iter) scheduleReadahead(cur int) {
+	if it.ra <= 0 || it.inflight != nil {
+		return
+	}
+	next := cur + 1
+	if end := it.fetchedLo + len(it.fetched); it.fetched != nil && it.fetchedLo <= next && next < end {
+		next = end
+	}
+	if next >= len(it.r.entries) {
+		return
+	}
+	hi := next + it.ra - 1
+	if hi >= len(it.r.entries) {
+		hi = len(it.r.entries) - 1
+	}
+	p := &prefetch{lo: next, hi: hi, ch: make(chan prefetchResult, 1)}
+	go it.r.fetchSpan(p.lo, p.hi, p.ch)
+	it.inflight = p
+}
+
+// takePrefetched returns the decoded contents of block i from the fetched
+// span or the in-flight fetch (waiting for it), or nil when no prefetch
+// covers i. A fetch error is returned and invalidates nothing else.
+func (it *Iter) takePrefetched(i int) ([]byte, error) {
+	if it.fetched != nil && it.fetchedLo <= i && i < it.fetchedLo+len(it.fetched) {
+		return it.fetched[i-it.fetchedLo], nil
+	}
+	if p := it.inflight; p != nil {
+		if p.lo <= i && i <= p.hi {
+			res := <-p.ch
+			it.inflight = nil
+			if res.err != nil {
+				return nil, res.err
+			}
+			it.fetched, it.fetchedLo = res.plains, p.lo
+			return it.fetched[i-p.lo], nil
+		}
+		// The iterator jumped; let the fetch finish on its own.
+		it.stale = append(it.stale, p)
+		it.inflight = nil
+	}
+	return nil, nil
+}
+
+// fetchSpan reads blocks [lo, hi] for a readahead pipeline: cached blocks
+// are taken from the block cache, and each contiguous uncached run is read
+// with a single ReadAt — one large sequential request instead of hi−lo+1
+// small ones — then verified, decompressed, and (when a cache is attached)
+// inserted block by block. Exactly one result is always sent on ch.
+func (r *Reader) fetchSpan(lo, hi int, ch chan prefetchResult) {
+	plains := make([][]byte, hi-lo+1)
+	var cached [][]byte
+	if r.bcache != nil {
+		cached = make([][]byte, hi-lo+1)
+		for i := lo; i <= hi; i++ {
+			cached[i-lo] = r.bcache.Get(cache.Key{ID: r.cacheID, Offset: r.entries[i].Handle.Offset})
+		}
+	}
+	for i := lo; i <= hi; {
+		if cached != nil && cached[i-lo] != nil {
+			plains[i-lo] = cached[i-lo]
+			i++
+			continue
+		}
+		j := i
+		for j <= hi && (cached == nil || cached[j-lo] == nil) {
+			j++
+		}
+		first, last := r.entries[i].Handle, r.entries[j-1].Handle
+		start, end := first.Offset, last.Offset+last.Length
+		if first.Offset < 0 || first.Length < BlockTrailerLen || end > r.size || end < start {
+			ch <- prefetchResult{err: fmt.Errorf("%w: block span {%d,%d} out of range", ErrBadTable, start, end-start)}
+			return
+		}
+		raw := make([]byte, end-start)
+		if _, err := r.f.ReadAt(raw, start); err != nil && err != io.EOF {
+			ch <- prefetchResult{err: err}
+			return
+		}
+		for k := i; k < j; k++ {
+			h := r.entries[k].Handle
+			if h.Offset < start || h.Offset+h.Length > end {
+				ch <- prefetchResult{err: fmt.Errorf("%w: block handle {%d,%d} outside its span", ErrBadTable, h.Offset, h.Length)}
+				return
+			}
+			plain, err := OpenBlock(nil, raw[h.Offset-start:h.Offset-start+h.Length])
+			if err != nil {
+				ch <- prefetchResult{err: err}
+				return
+			}
+			plains[k-lo] = plain
+			if r.bcache != nil {
+				r.bcache.Put(cache.Key{ID: r.cacheID, Offset: h.Offset}, plain)
+			}
+		}
+		i = j
+	}
+	ch <- prefetchResult{plains: plains}
 }
 
 // Valid reports whether the iterator is on an entry.
@@ -252,20 +417,31 @@ func (it *Iter) Key() []byte { return it.bi.Key() }
 // Value returns the current value.
 func (it *Iter) Value() []byte { return it.bi.Value() }
 
-// loadBlock opens data block i.
+// loadBlock opens data block i, consuming a completed prefetch when one is
+// pending for it.
 func (it *Iter) loadBlock(i int) bool {
-	// Reuse the scratch buffer only when no cache is attached: cached
-	// blocks are shared and must never be appended into.
-	var dst []byte
-	if it.r.bcache == nil {
-		dst = it.buf[:0]
-	}
-	plain, err := it.r.ReadBlockData(dst, it.r.entries[i].Handle)
-	if err != nil {
-		it.err = err
+	plain, perr := it.takePrefetched(i)
+	if perr != nil {
+		it.err = perr
 		return false
 	}
+	if plain == nil {
+		// Reuse the scratch buffer only when no cache is attached: cached
+		// blocks are shared and must never be appended into.
+		var dst []byte
+		if it.r.bcache == nil {
+			dst = it.buf[:0]
+		}
+		p, err := it.r.ReadBlockData(dst, it.r.entries[i].Handle)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		plain = p
+	}
 	if it.r.bcache == nil {
+		// Adopt the block as the scratch buffer: by the time the next block
+		// loads, this one is no longer referenced.
 		it.buf = plain
 	}
 	bi, err := block.NewIter(plain, it.r.cmp)
@@ -275,6 +451,10 @@ func (it *Iter) loadBlock(i int) bool {
 	}
 	it.blockIdx = i
 	it.bi = bi
+	if it.r.onAccess != nil {
+		it.r.onAccess(it.r.entries[i].LastKey)
+	}
+	it.scheduleReadahead(i)
 	return true
 }
 

@@ -149,17 +149,30 @@ func (g *Generator) Next() (key, value []byte, ok bool) {
 // fillKey renders n as a fixed-width decimal key, zero-padded to KeySize.
 // Fixed-width decimal keeps keys ordered and realistic ("user0000001234").
 func (g *Generator) fillKey(n uint64) {
+	g.key = appendKey(g.key[:0], n, g.cfg.KeySize)
+}
+
+// FormatKey renders key number n exactly as a Generator with the same
+// KeySize would — read benchmarks use it to target keys a load generator
+// wrote without replaying the whole stream.
+func FormatKey(n uint64, keySize int) []byte {
+	if keySize < 8 {
+		keySize = 16
+	}
+	return appendKey(nil, n, keySize)
+}
+
+func appendKey(dst []byte, n uint64, keySize int) []byte {
 	const prefix = "user"
-	k := g.key[:0]
-	k = append(k, prefix...)
-	digits := g.cfg.KeySize - len(prefix)
+	dst = append(dst, prefix...)
+	digits := keySize - len(prefix)
 	s := fmt.Sprintf("%0*d", digits, n)
 	// If n overflows the width, keep the least-significant digits: still
 	// deterministic and fixed-width.
 	if len(s) > digits {
 		s = s[len(s)-digits:]
 	}
-	g.key = append(k, s...)
+	return append(dst, s...)
 }
 
 // fillValue produces a value that compresses according to the configured

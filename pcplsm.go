@@ -120,6 +120,15 @@ type Options struct {
 	// BlockCacheBytes caps the decompressed-block read cache (0 = default
 	// 8 MiB, negative disables).
 	BlockCacheBytes int
+	// DisableCachePreWarm turns off the compaction-surviving cache: by
+	// default compactions re-insert output blocks whose key ranges were
+	// hot in the inputs, so the working set stays cached across file
+	// renumbering.
+	DisableCachePreWarm bool
+	// ScanReadahead is how many blocks ahead an iterator prefetches and
+	// decodes while a scan consumes the current one (0 = default 2,
+	// negative disables).
+	ScanReadahead int
 
 	// BackgroundWorkers sizes the background scheduler's worker pool
 	// (default 2). With two or more workers a memtable flush overlaps
@@ -209,13 +218,15 @@ func Open(opts Options) (*DB, error) {
 	}
 
 	inner, err := lsm.Open(lsm.Options{
-		FS:              fs,
-		MemtableSize:    int64(opts.MemtableBytes),
-		TableSize:       int64(opts.TableBytes),
-		BlockSize:       opts.BlockBytes,
-		BloomBitsPerKey: opts.BloomBitsPerKey,
-		BlockCacheBytes: int64(opts.BlockCacheBytes),
-		Codec:           compress.MustByKind(kind),
+		FS:                  fs,
+		MemtableSize:        int64(opts.MemtableBytes),
+		TableSize:           int64(opts.TableBytes),
+		BlockSize:           opts.BlockBytes,
+		BloomBitsPerKey:     opts.BloomBitsPerKey,
+		BlockCacheBytes:     int64(opts.BlockCacheBytes),
+		DisableCachePreWarm: opts.DisableCachePreWarm,
+		ScanReadahead:       opts.ScanReadahead,
+		Codec:               compress.MustByKind(kind),
 		Compaction: core.Config{
 			Mode:            mode,
 			SubtaskSize:     int64(opts.Compaction.SubtaskBytes),
