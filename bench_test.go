@@ -357,6 +357,57 @@ func BenchmarkParallelWriters(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelWritersShards adds the memtable-shards dimension to the
+// group-commit benchmark: concurrent writers form commit groups whose
+// entries hash across shards, so the leader's memtable apply fans out to
+// parallel per-shard appliers. shards=1 is the single-skiplist baseline (the
+// pre-sharding behavior); the recorded comparison is BENCH_PR7.json,
+// regenerated with `go run ./cmd/pcpbench -memjson BENCH_PR7.json`.
+func BenchmarkParallelWritersShards(b *testing.B) {
+	for _, writers := range []int{1, 4, 16} {
+		for _, shards := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("writers%d/shards%d", writers, shards), func(b *testing.B) {
+				db, err := Open(Options{
+					MemtableBytes:         256 << 20,
+					MemtableShards:        shards,
+					DisableAutoCompaction: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				val := make([]byte, 100)
+				b.SetBytes(116)
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / writers
+				for w := 0; w < writers; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						key := make([]byte, 16)
+						for i := 0; i < per; i++ {
+							copy(key, fmt.Sprintf("w%03d%08d", w, i))
+							if err := db.Put(key, val); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				st := db.Stats()
+				if st.WriteGroups > 0 {
+					b.ReportMetric(float64(st.ApplyShardRuns)/float64(st.WriteGroups), "shards/group")
+					b.ReportMetric(float64(st.ParallelApplies)/float64(st.WriteGroups), "parallel-share")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkPutThroughput measures the raw foreground write path (memtable
 // + WAL, no simulated devices).
 func BenchmarkPutThroughput(b *testing.B) {

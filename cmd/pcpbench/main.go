@@ -12,6 +12,7 @@
 //	pcpbench -writejson f.json # write the group-commit comparison as JSON and exit
 //	pcpbench -crashjson f.json # run the crash-consistency matrix, write the summary, exit
 //	pcpbench -readjson f.json  # write the read-under-compaction comparison as JSON and exit
+//	pcpbench -memjson f.json   # write the sharded-memtable/allocation comparison as JSON and exit
 //
 // Output is the same rows/series the paper plots, as aligned text tables.
 package main
@@ -33,6 +34,7 @@ func main() {
 	writeJSON := flag.String("writejson", "", "run the group-commit comparison and write it to this file as JSON")
 	crashJSON := flag.String("crashjson", "", "run the crash-consistency matrix and write the summary to this file as JSON")
 	readJSON := flag.String("readjson", "", "run the read-under-compaction comparison and write it to this file as JSON")
+	memJSON := flag.String("memjson", "", "run the sharded-memtable/allocation comparison and write it to this file as JSON")
 	crashSeed := flag.Int64("crashseed", 1, "base seed for -crashjson cycles")
 	crashSeeds := flag.Int("crashseeds", 200, "number of seeded power-cut cycles for -crashjson")
 	flag.Parse()
@@ -92,6 +94,19 @@ func main() {
 		writeArtifact(*readJSON, cmp)
 		return
 	}
+	if *memJSON != "" {
+		ops := 200_000
+		if sc.Name == "full" {
+			ops = 1_000_000
+		}
+		cmp, err := harness.RunMemComparison(ops)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcpbench: memtable comparison: %v\n", err)
+			os.Exit(1)
+		}
+		writeArtifact(*memJSON, cmp)
+		return
+	}
 	if *crashJSON != "" {
 		sum := harness.RunCrashMatrix(*crashSeed, *crashSeeds)
 		writeArtifact(*crashJSON, sum)
@@ -121,6 +136,7 @@ func main() {
 		"sched": {{"sched", harness.FigSched}},
 		"write": {{"write", harness.FigWrite}},
 		"read":  {{"read", harness.FigRead}},
+		"mem":   {{"mem", harness.FigMem}},
 	}
 	var runs []figure
 	if *fig == "all" {

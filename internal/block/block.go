@@ -140,43 +140,85 @@ var (
 )
 
 // Iter iterates over a serialized block. The zero Iter is invalid; use
-// NewIter.
+// NewIter, or Reset to (re)bind an existing Iter to a block — resetting
+// reuses the key scratch buffer, which is what makes per-block iteration in
+// a table scan allocation-free.
 type Iter struct {
-	cmp      Compare
-	data     []byte // entry region only
-	restarts []uint32
-	off      int // offset of the current entry within data
-	nextOff  int
-	key      []byte
-	val      []byte
-	valid    bool
-	err      error
+	cmp         Compare
+	data        []byte // entry region only
+	restartArea []byte // trailing uint32 LE restart offsets, read on demand
+	nRestarts   int
+	off         int // offset of the current entry within data
+	nextOff     int
+	key         []byte
+	val         []byte
+	valid       bool
+	err         error
 }
 
 // NewIter parses the block trailer and returns an iterator positioned before
 // the first entry. cmp may be nil, defaulting to bytes.Compare.
 func NewIter(data []byte, cmp Compare) (*Iter, error) {
+	it := new(Iter)
+	if err := it.Reset(data, cmp); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// Reset rebinds the iterator to a new block, positioned before the first
+// entry. Scratch buffers are retained, so resetting an Iter across the
+// blocks of a scan does not allocate. The restart offsets are validated here
+// but never copied out of data — the block (typically shared with the block
+// cache) is its own index.
+func (it *Iter) Reset(data []byte, cmp Compare) error {
 	if cmp == nil {
 		cmp = bytes.Compare
 	}
 	if len(data) < 4 {
-		return nil, ErrBlockTooShort
+		return ErrBlockTooShort
 	}
 	n := int(binary.LittleEndian.Uint32(data[len(data)-4:]))
 	trailer := 4 * (n + 1)
 	if n <= 0 || trailer > len(data) {
-		return nil, fmt.Errorf("%w: %d restarts in %d bytes", ErrBlockCorrupt, n, len(data))
+		return fmt.Errorf("%w: %d restarts in %d bytes", ErrBlockCorrupt, n, len(data))
 	}
 	restartArea := data[len(data)-trailer : len(data)-4]
-	restarts := make([]uint32, n)
 	entryLen := len(data) - trailer
-	for i := range restarts {
-		restarts[i] = binary.LittleEndian.Uint32(restartArea[4*i:])
-		if int(restarts[i]) > entryLen {
-			return nil, fmt.Errorf("%w: restart %d out of range", ErrBlockCorrupt, restarts[i])
+	for i := 0; i < n; i++ {
+		if off := binary.LittleEndian.Uint32(restartArea[4*i:]); int(off) > entryLen {
+			return fmt.Errorf("%w: restart %d out of range", ErrBlockCorrupt, off)
 		}
 	}
-	return &Iter{cmp: cmp, data: data[:entryLen], restarts: restarts}, nil
+	it.cmp = cmp
+	it.data = data[:entryLen]
+	it.restartArea = restartArea
+	it.nRestarts = n
+	it.off, it.nextOff = 0, 0
+	it.key = it.key[:0]
+	it.val = nil
+	it.valid = false
+	it.err = nil
+	return nil
+}
+
+// Release drops the iterator's references into the block so a pooled or
+// long-lived Iter does not pin (possibly cache-shared) block bytes. The key
+// scratch buffer is retained for the next Reset.
+func (it *Iter) Release() {
+	it.data = nil
+	it.restartArea = nil
+	it.nRestarts = 0
+	it.val = nil
+	it.key = it.key[:0]
+	it.valid = false
+	it.err = nil
+}
+
+// restartOff returns the entry offset of restart index i (validated by
+// Reset).
+func (it *Iter) restartOff(i int) int {
+	return int(binary.LittleEndian.Uint32(it.restartArea[4*i:]))
 }
 
 // Valid reports whether the iterator is positioned on an entry.
@@ -200,7 +242,7 @@ func (it *Iter) First() bool {
 
 // seekToRestart positions parsing at restart index i with no current entry.
 func (it *Iter) seekToRestart(i int) {
-	it.nextOff = int(it.restarts[i])
+	it.nextOff = it.restartOff(i)
 	it.key = it.key[:0]
 	it.valid = false
 	it.err = nil
@@ -253,7 +295,7 @@ func (it *Iter) corrupt() bool {
 // returning false if no such entry exists.
 func (it *Iter) Seek(target []byte) bool {
 	// Binary search for the last restart whose key is <= target, then scan.
-	lo, hi := 0, len(it.restarts)-1
+	lo, hi := 0, it.nRestarts-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
 		k, ok := it.restartKey(mid)
@@ -277,7 +319,7 @@ func (it *Iter) Seek(target []byte) bool {
 
 // restartKey decodes the full key stored at restart index i.
 func (it *Iter) restartKey(i int) ([]byte, bool) {
-	rec := it.data[it.restarts[i]:]
+	rec := it.data[it.restartOff(i):]
 	shared, n1 := binary.Uvarint(rec)
 	if n1 <= 0 || shared != 0 {
 		it.err = ErrBlockCorrupt

@@ -14,6 +14,14 @@ import (
 // codec ablation and for exercising C-PPCP.
 type flateCodec struct {
 	writers sync.Pool // *flate.Writer
+	readers sync.Pool // flateReader
+}
+
+// flateReader pairs a resettable flate decompressor with its source reader
+// so Decompress reuses both across calls.
+type flateReader struct {
+	src *bytes.Reader
+	r   io.ReadCloser
 }
 
 func newFlateCodec() *flateCodec {
@@ -26,6 +34,12 @@ func newFlateCodec() *flateCodec {
 					panic(err)
 				}
 				return w
+			},
+		},
+		readers: sync.Pool{
+			New: func() any {
+				src := bytes.NewReader(nil)
+				return flateReader{src: src, r: flate.NewReader(src)}
 			},
 		},
 	}
@@ -50,12 +64,21 @@ func (c *flateCodec) Compress(dst, src []byte) []byte {
 	return append(dst, buf.Bytes()...)
 }
 
+// Decompress appends the decoded bytes to dst, reusing dst's capacity. The
+// flate state machine and its source reader come from a pool, and
+// bytes.Buffer.ReadFrom decodes directly into the destination's spare
+// capacity — no per-call scratch.
 func (c *flateCodec) Decompress(dst, src []byte) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(src))
-	defer r.Close()
+	fr := c.readers.Get().(flateReader)
+	fr.src.Reset(src)
+	if err := fr.r.(flate.Resetter).Reset(fr.src, nil); err != nil {
+		return dst, fmt.Errorf("compress: flate reset: %w", err)
+	}
 	buf := bytes.NewBuffer(dst)
-	if _, err := io.Copy(buf, r); err != nil {
+	if _, err := buf.ReadFrom(fr.r); err != nil {
+		c.readers.Put(fr)
 		return dst, fmt.Errorf("compress: flate decode: %w", err)
 	}
+	c.readers.Put(fr)
 	return buf.Bytes(), nil
 }

@@ -46,18 +46,24 @@ const MaxSeq = uint64(1)<<56 - 1
 // TrailerLen is the byte length of the encoded trailer.
 const TrailerLen = 8
 
+// PutTrailer encodes the (seq, kind) trailer into dst[:TrailerLen], letting
+// callers that manage their own buffers (the memtable arena) build internal
+// keys without an intermediate allocation.
+func PutTrailer(dst []byte, seq uint64, kind Kind) {
+	if seq > MaxSeq {
+		panic(fmt.Sprintf("ikey: sequence %d exceeds MaxSeq", seq))
+	}
+	binary.LittleEndian.PutUint64(dst, seq<<8|uint64(kind))
+}
+
 // Make appends the trailer for (seq, kind) to user and returns the internal
 // key. It does not alias user's backing array beyond what append does;
 // callers that must not mutate user should pass a copy.
 func Make(user []byte, seq uint64, kind Kind) []byte {
-	if seq > MaxSeq {
-		panic(fmt.Sprintf("ikey: sequence %d exceeds MaxSeq", seq))
-	}
-	ik := make([]byte, 0, len(user)+TrailerLen)
-	ik = append(ik, user...)
-	var tr [TrailerLen]byte
-	binary.LittleEndian.PutUint64(tr[:], seq<<8|uint64(kind))
-	return append(ik, tr[:]...)
+	ik := make([]byte, len(user)+TrailerLen)
+	copy(ik, user)
+	PutTrailer(ik[len(user):], seq, kind)
+	return ik
 }
 
 // SearchKey returns the internal key that sorts before every version of

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pcplsm/internal/ikey"
+	"pcplsm/internal/memtable"
 )
 
 // Group-commit write pipeline.
@@ -144,24 +145,27 @@ func (db *DB) commitAsLeader(leader *commitWriter) error {
 		return err
 	}
 
-	// Apply to the memtable. Only the leader inserts (rotation is excluded
-	// by commitMu), preserving the skiplist's single-writer contract;
-	// concurrent readers cannot see these entries yet because their
-	// sequences are above the visible watermark.
+	// Apply to the memtable. Only the leader applies (rotation is excluded
+	// by commitMu), preserving the per-shard single-writer contract even
+	// when Apply fans the group out to parallel shard goroutines; concurrent
+	// readers cannot see these entries yet because their sequences are above
+	// the visible watermark, which moves only after every shard has landed.
 	var puts, dels int64
+	ops := db.applyOps[:0]
 	seq := base
 	for _, gw := range group {
 		for _, e := range gw.batch.entries {
+			ops = append(ops, memtable.Op{Seq: seq, Kind: e.kind, Key: e.key, Val: e.val})
 			if e.kind == ikey.KindDelete {
-				mem.Delete(seq, e.key)
 				dels++
 			} else {
-				mem.Put(seq, e.key, e.val)
 				puts++
 			}
 			seq++
 		}
 	}
+	db.applyOps = ops
+	shards, parallel := mem.Apply(ops)
 
 	// Publish: allocate the sequences and move the watermark. db.seq stays
 	// mu-guarded (recovery checkpoints read it); the watermark is the
@@ -174,6 +178,7 @@ func (db *DB) commitAsLeader(leader *commitWriter) error {
 
 	db.stats.addPutsDeletes(puts, dels)
 	db.stats.addCommit(int64(len(group)), synced)
+	db.stats.addApply(int64(shards), parallel)
 	db.finishGroup(group, nil)
 	return nil
 }
@@ -264,19 +269,21 @@ func (db *DB) writeSerial(b *Batch) error {
 		synced = true
 	}
 	var puts, dels int64
+	ops := db.applyOps[:0]
 	for i, e := range b.entries {
-		s := base + uint64(i)
+		ops = append(ops, memtable.Op{Seq: base + uint64(i), Kind: e.kind, Key: e.key, Val: e.val})
 		if e.kind == ikey.KindDelete {
-			db.mem.Delete(s, e.key)
 			dels++
 		} else {
-			db.mem.Put(s, e.key, e.val)
 			puts++
 		}
 	}
+	db.applyOps = ops
+	shards, parallel := db.mem.Apply(ops)
 	db.seq = base + uint64(b.Len()) - 1
 	db.visibleSeq.Store(db.seq)
 	db.stats.addPutsDeletes(puts, dels)
 	db.stats.addCommit(1, synced)
+	db.stats.addApply(int64(shards), parallel)
 	return nil
 }

@@ -63,6 +63,7 @@ type DB struct {
 	writeMu    sync.Mutex
 	writers    []*commitWriter
 	commitBuf  []byte
+	applyOps   []memtable.Op // scratch for staging a group's ops, reused like commitBuf
 	visibleSeq atomic.Uint64
 
 	mu         sync.Mutex
@@ -105,6 +106,14 @@ type DB struct {
 	gClaimedBytes       *metrics.Gauge
 }
 
+// newMemtable builds an empty memtable from the DB's sharding/arena options.
+func (db *DB) newMemtable() *memtable.Memtable {
+	return memtable.New(memtable.Config{
+		Shards:    db.opts.MemtableShards,
+		ChunkSize: db.opts.MemtableArenaChunk,
+	})
+}
+
 // gaugeFlushes moves the in-flight flush gauge by d.
 func (db *DB) gaugeFlushes(d int64) { db.gFlushesInFlight.Add(d) }
 
@@ -141,7 +150,6 @@ func Open(opts Options) (*DB, error) {
 		bcache:         blockCache,
 		heat:           heat,
 		cache:          newTableCache(opts.FS, blockCache, heat),
-		mem:            memtable.New(),
 		snapshots:      map[uint64]int{},
 		claimedFiles:   map[uint64]struct{}{},
 		pendingOutputs: map[uint64]struct{}{},
@@ -150,6 +158,7 @@ func Open(opts Options) (*DB, error) {
 		bgQuit:         make(chan struct{}),
 		reg:            reg,
 	}
+	db.mem = db.newMemtable()
 	db.cond = sync.NewCond(&db.mu)
 	db.gFlushesInFlight = reg.Gauge("lsm_flushes_inflight")
 	db.gCompactionsTotal = reg.Gauge("lsm_compactions_inflight")
@@ -181,7 +190,7 @@ func Open(opts Options) (*DB, error) {
 		edit := NewVersionEdit()
 		edit.AddTable(0, meta)
 		db.vs.Apply(edit)
-		db.mem = memtable.New()
+		db.mem = db.newMemtable()
 	}
 
 	// Compact the whole recovered state into one snapshot record and install
@@ -438,7 +447,7 @@ func (db *DB) makeRoomForWrite() error {
 			}
 			db.imm = db.mem
 			db.immWalNum = db.walNum
-			db.mem = memtable.New()
+			db.mem = db.newMemtable()
 			db.wal = wal.NewWriter(f)
 			db.walNum = num
 			db.nudge()
@@ -565,7 +574,12 @@ func (db *DB) searchTable(t *TableMeta, key, search []byte) (val []byte, deleted
 		db.stats.addFilterSkip()
 		return nil, false, false, nil
 	}
+	// Closing the iterator returns it (and its scratch buffers) to the
+	// reader's pool, so the value must be copied out before the deferred
+	// Close runs — the alias may point into pooled scratch when the block
+	// came straight from disk rather than the cache.
 	it := r.NewIter()
+	defer it.Close()
 	if !it.Seek(search) {
 		return nil, false, false, it.Err()
 	}
@@ -582,6 +596,18 @@ func (db *DB) searchTable(t *TableMeta, key, search []byte) (val []byte, deleted
 // Stats returns a snapshot of cumulative statistics.
 func (db *DB) Stats() Stats {
 	s := db.stats.snapshot()
+	db.mu.Lock()
+	mem := db.mem
+	db.mu.Unlock()
+	if mem != nil {
+		ms := mem.Stats()
+		s.MemtableShards = int64(ms.Shards)
+		s.MemtableEntries = ms.Entries
+		s.MemtableMaxShardEntries = ms.MaxShardEntries
+		s.MemtableMinShardEntries = ms.MinShardEntries
+		s.MemtableArenaReserved = ms.ArenaReserved
+		s.MemtableArenaUsed = ms.ArenaUsed
+	}
 	if db.bcache != nil {
 		s.BlockCacheHits, s.BlockCacheMisses = db.bcache.Stats()
 		s.BlockCacheEvictions = db.bcache.Evictions()
@@ -623,6 +649,14 @@ func (db *DB) Metrics() *metrics.Registry {
 	db.reg.Gauge("lsm_block_cache_bytes").Set(s.BlockCacheBytes)
 	db.reg.Gauge("lsm_block_cache_capacity").Set(s.BlockCacheCapacity)
 	db.reg.Gauge("lsm_block_cache_prewarmed").Set(s.BlockCachePrewarmed)
+	db.reg.Gauge("lsm_memtable_shards").Set(s.MemtableShards)
+	db.reg.Gauge("lsm_memtable_entries").Set(s.MemtableEntries)
+	db.reg.Gauge("lsm_memtable_shard_entries_max").Set(s.MemtableMaxShardEntries)
+	db.reg.Gauge("lsm_memtable_shard_entries_min").Set(s.MemtableMinShardEntries)
+	db.reg.Gauge("lsm_memtable_arena_reserved_bytes").Set(s.MemtableArenaReserved)
+	db.reg.Gauge("lsm_memtable_arena_used_bytes").Set(s.MemtableArenaUsed)
+	db.reg.Gauge("lsm_apply_shard_runs").Set(s.ApplyShardRuns)
+	db.reg.Gauge("lsm_parallel_applies").Set(s.ParallelApplies)
 	return db.reg
 }
 
@@ -675,7 +709,7 @@ func (db *DB) Flush() error {
 		}
 		db.imm = db.mem
 		db.immWalNum = db.walNum
-		db.mem = memtable.New()
+		db.mem = db.newMemtable()
 		db.wal = wal.NewWriter(f)
 		db.walNum = num
 	}
@@ -886,7 +920,7 @@ func keyRange(tables []*TableMeta) (smallest, largest []byte) {
 func (db *DB) runCompaction(pc *pickedCompaction) error {
 	all := append(append([]*TableMeta(nil), pc.inputs...), pc.overlap...)
 	sources := make([]*core.TableSource, 0, len(all))
-	handles := make([]*tableHandle, 0, len(all))
+	handles := make([]tableHandle, 0, len(all))
 	defer func() {
 		for _, h := range handles {
 			h.Close()

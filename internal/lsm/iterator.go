@@ -47,6 +47,7 @@ type Iterator struct {
 	snap    uint64
 
 	key, val []byte
+	skip     []byte // scratch for the just-emitted user key in Next
 	valid    bool
 	err      error
 }
@@ -179,8 +180,8 @@ func (it *Iterator) Next() bool {
 	if !it.valid {
 		return false
 	}
-	skip := append([]byte(nil), it.key...)
-	return it.findNext(skip)
+	it.skip = append(it.skip[:0], it.key...)
+	return it.findNext(it.skip)
 }
 
 // minSource returns the index of the source with the smallest current

@@ -5,6 +5,7 @@ import (
 
 	"pcplsm/internal/compress"
 	"pcplsm/internal/core"
+	"pcplsm/internal/memtable"
 	"pcplsm/internal/metrics"
 	"pcplsm/internal/storage"
 )
@@ -32,6 +33,19 @@ type Options struct {
 
 	// MemtableSize triggers a flush when C0 exceeds it (default 4 MiB).
 	MemtableSize int64
+	// MemtableShards partitions the memtable into independent arena-backed
+	// skiplists by user-key hash, letting the commit leader apply a write
+	// group with parallel per-shard writers and point reads probe a smaller
+	// structure. 0 selects the default of 4; 1 restores the single-skiplist
+	// layout (observable behavior — contents, scan order, WAL bytes — is
+	// identical at any setting). Values are clamped to [1, 64] and rounded
+	// up to a power of two.
+	MemtableShards int
+	// MemtableArenaChunk is the chunk size in bytes of each shard's arena
+	// (the append-only buffers that hold node, key and value bytes, freed
+	// wholesale when the memtable retires). 0 selects the default of 64 KiB;
+	// other values are clamped to [4 KiB, 8 MiB].
+	MemtableArenaChunk int
 	// TableSize caps SSTable file size (default 2 MiB).
 	TableSize int64
 	// BlockSize is the data block size (default 4 KiB).
@@ -149,6 +163,18 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.MemtableSize <= 0 {
 		o.MemtableSize = 4 << 20
+	}
+	if o.MemtableShards == 0 {
+		o.MemtableShards = 4
+	}
+	o.MemtableShards = memtable.NormalShards(o.MemtableShards)
+	switch {
+	case o.MemtableArenaChunk == 0:
+		o.MemtableArenaChunk = memtable.DefaultArenaChunk
+	case o.MemtableArenaChunk < 4<<10:
+		o.MemtableArenaChunk = 4 << 10
+	case o.MemtableArenaChunk > 8<<20:
+		o.MemtableArenaChunk = 8 << 20
 	}
 	if o.TableSize <= 0 {
 		o.TableSize = 2 << 20

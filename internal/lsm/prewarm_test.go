@@ -149,7 +149,7 @@ func buildCacheTestTable(t *testing.T, fs storage.FS, num uint64, count int) {
 }
 
 // scanLeased iterates a leased reader end to end, failing on any error.
-func scanLeased(t *testing.T, h *tableHandle, wantEntries int) {
+func scanLeased(t *testing.T, h tableHandle, wantEntries int) {
 	t.Helper()
 	it := h.Reader().NewIter()
 	defer it.Close()

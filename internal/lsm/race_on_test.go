@@ -1,0 +1,8 @@
+//go:build race
+
+package lsm
+
+// raceEnabled reports whether the race detector is active. The allocation
+// guards skip under -race: the detector instruments allocations and makes
+// testing.AllocsPerRun report its own bookkeeping.
+const raceEnabled = true

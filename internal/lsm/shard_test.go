@@ -1,0 +1,331 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pcplsm/internal/storage"
+)
+
+// scanAll drains a fresh iterator into an ordered key=value slice.
+func scanAll(t *testing.T, db *DB) []string {
+	t.Helper()
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var out []string
+	for ok := it.First(); ok; ok = it.Next() {
+		out = append(out, fmt.Sprintf("%s=%s", it.Key(), it.Value()))
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestShardedEquivalenceRandom drives two stores — one shard versus eight —
+// through the same randomized workload (puts, deletes, batches, flushes,
+// reopen) and requires identical reads and identical scans at every
+// checkpoint. MemtableShards must be invisible to every observable behavior.
+func TestShardedEquivalenceRandom(t *testing.T) {
+	newDB := func(fs storage.FS, shards int) *DB {
+		opts := smallOpts(fs)
+		opts.MemtableShards = shards
+		opts.DisableAutoCompaction = true
+		return mustOpen(t, opts)
+	}
+	fs1, fs8 := storage.NewMemFS(), storage.NewMemFS()
+	db1, db8 := newDB(fs1, 1), newDB(fs8, 8)
+	defer func() { db1.Close(); db8.Close() }()
+
+	both := func(step int, f func(db *DB) error) {
+		t.Helper()
+		if err := f(db1); err != nil {
+			t.Fatalf("step %d (shards=1): %v", step, err)
+		}
+		if err := f(db8); err != nil {
+			t.Fatalf("step %d (shards=8): %v", step, err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(0xFEED))
+	key := func() []byte { return []byte(fmt.Sprintf("key%05d", rng.Intn(1200))) }
+	const steps = 4000
+	for step := 0; step < steps; step++ {
+		switch r := rng.Intn(100); {
+		case r < 50:
+			k, v := key(), []byte(fmt.Sprintf("v%d", step))
+			both(step, func(db *DB) error { return db.Put(k, v) })
+		case r < 62:
+			k := key()
+			both(step, func(db *DB) error { return db.Delete(k) })
+		case r < 80:
+			var b Batch
+			for i, n := 0, rng.Intn(24)+1; i < n; i++ {
+				if rng.Intn(6) == 0 {
+					b.Delete(key())
+				} else {
+					b.Put(key(), []byte(fmt.Sprintf("b%d-%d", step, i)))
+				}
+			}
+			both(step, func(db *DB) error { return db.Write(&b) })
+		case r < 82:
+			both(step, func(db *DB) error { return db.Flush() })
+		default:
+			k := key()
+			v1, err1 := db1.Get(k)
+			v8, err8 := db8.Get(k)
+			if !errors.Is(err1, err8) && (err1 != nil || err8 != nil) {
+				t.Fatalf("step %d: Get(%q) errs diverge: %v vs %v", step, k, err1, err8)
+			}
+			if string(v1) != string(v8) {
+				t.Fatalf("step %d: Get(%q) = %q vs %q", step, k, v1, v8)
+			}
+		}
+		if step%1000 == 999 {
+			s1, s8 := scanAll(t, db1), scanAll(t, db8)
+			if len(s1) != len(s8) {
+				t.Fatalf("step %d: scan lengths %d vs %d", step, len(s1), len(s8))
+			}
+			for i := range s1 {
+				if s1[i] != s8[i] {
+					t.Fatalf("step %d: scan entry %d: %q vs %q", step, i, s1[i], s8[i])
+				}
+			}
+		}
+	}
+
+	// Close/reopen: WAL replay routes through the sharded memtable too.
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db8.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db1, db8 = newDB(fs1, 1), newDB(fs8, 8)
+	s1, s8 := scanAll(t, db1), scanAll(t, db8)
+	if len(s1) != len(s8) {
+		t.Fatalf("post-reopen scan lengths %d vs %d", len(s1), len(s8))
+	}
+	for i := range s1 {
+		if s1[i] != s8[i] {
+			t.Fatalf("post-reopen scan entry %d: %q vs %q", i, s1[i], s8[i])
+		}
+	}
+}
+
+// readFile slurps a whole file out of an FS.
+func readFile(t *testing.T, fs storage.FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestWALBytesIdenticalAcrossShards pins the on-disk compatibility claim:
+// sharding is purely an in-memory arrangement, so the WAL an unsharded store
+// writes and the WAL an 8-shard store writes for the same operations are
+// bit-for-bit identical.
+func TestWALBytesIdenticalAcrossShards(t *testing.T) {
+	run := func(shards int) (storage.FS, []string) {
+		fs := storage.NewMemFS()
+		opts := smallOpts(fs)
+		opts.MemtableSize = 1 << 20 // no rotation: a single WAL holds everything
+		opts.MemtableShards = shards
+		opts.DisableAutoCompaction = true
+		db := mustOpen(t, opts)
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 500; i++ {
+			k := []byte(fmt.Sprintf("key%04d", rng.Intn(300)))
+			switch rng.Intn(5) {
+			case 0:
+				if err := db.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				var b Batch
+				for j := 0; j < rng.Intn(9)+1; j++ {
+					b.Put([]byte(fmt.Sprintf("key%04d", rng.Intn(300))), []byte(fmt.Sprintf("bv%d", i)))
+				}
+				if err := db.Write(&b); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if err := db.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		names, err := fs.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wals []string
+		for _, n := range names {
+			if strings.HasSuffix(n, ".log") {
+				wals = append(wals, n)
+			}
+		}
+		return fs, wals
+	}
+
+	fs1, wals1 := run(1)
+	fs8, wals8 := run(8)
+	if len(wals1) == 0 || len(wals1) != len(wals8) {
+		t.Fatalf("WAL file sets differ: %v vs %v", wals1, wals8)
+	}
+	for i := range wals1 {
+		if wals1[i] != wals8[i] {
+			t.Fatalf("WAL names differ: %v vs %v", wals1, wals8)
+		}
+		b1, b8 := readFile(t, fs1, wals1[i]), readFile(t, fs8, wals8[i])
+		if string(b1) != string(b8) {
+			t.Fatalf("WAL %s differs between shards=1 (%d bytes) and shards=8 (%d bytes)",
+				wals1[i], len(b1), len(b8))
+		}
+	}
+}
+
+// TestShardedBatchAtomicity is the cross-shard all-or-nothing stress: writers
+// commit batches whose keys hash to different shards, all carrying the same
+// generation stamp, while snapshot readers verify they never see a
+// generation torn across the batch. This is exactly the property the single
+// visibility watermark must preserve when shard appliers run in parallel.
+func TestShardedBatchAtomicity(t *testing.T) {
+	// Force the parallel-apply path even on a single-CPU host (Apply gates
+	// its fan-out on GOMAXPROCS).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	opts := smallOpts(storage.NewMemFS())
+	opts.MemtableSize = 8 << 20 // avoid flush churn; the race is in the memtable
+	opts.MemtableShards = 8
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	const (
+		writers  = 4
+		perBatch = 10 // spans shards and exceeds the parallel-apply threshold
+		rounds   = 200
+	)
+	var stop atomic.Bool
+	var writerWG, readerWG sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for g := 1; g <= rounds; g++ {
+				var b Batch
+				for j := 0; j < perBatch; j++ {
+					b.Put([]byte(fmt.Sprintf("w%d-k%02d", w, j)), []byte(fmt.Sprintf("g%06d", g)))
+				}
+				if err := db.Write(&b); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	readErrs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for !stop.Load() {
+				w := rng.Intn(writers)
+				snap, err := db.GetSnapshot()
+				if err != nil {
+					readErrs <- err
+					return
+				}
+				var gen string
+				for j := 0; j < perBatch; j++ {
+					v, err := snap.Get([]byte(fmt.Sprintf("w%d-k%02d", w, j)))
+					if errors.Is(err, ErrNotFound) {
+						// Before this writer's first batch became visible the
+						// whole set must be missing.
+						if j != 0 {
+							readErrs <- fmt.Errorf("writer %d: key %d missing but key 0 present (gen %q)", w, j, gen)
+							snap.Release()
+							return
+						}
+						break
+					}
+					if err != nil {
+						readErrs <- err
+						snap.Release()
+						return
+					}
+					if j == 0 {
+						gen = string(v)
+					} else if string(v) != gen {
+						readErrs <- fmt.Errorf("writer %d: torn batch: key 0 gen %q, key %d gen %q", w, gen, j, v)
+						snap.Release()
+						return
+					}
+				}
+				snap.Release()
+			}
+		}(r)
+	}
+
+	// Wait for the writers, then stop the readers and check for torn reads.
+	writersDone := make(chan struct{})
+	go func() {
+		defer close(writersDone)
+		writerWG.Wait()
+	}()
+	select {
+	case err := <-readErrs:
+		stop.Store(true)
+		<-writersDone
+		readerWG.Wait()
+		t.Fatal(err)
+	case <-writersDone:
+	}
+	stop.Store(true)
+	readerWG.Wait()
+	select {
+	case err := <-readErrs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Final state: every writer's batch fully at its last generation.
+	for w := 0; w < writers; w++ {
+		for j := 0; j < perBatch; j++ {
+			v, err := db.Get([]byte(fmt.Sprintf("w%d-k%02d", w, j)))
+			if err != nil {
+				t.Fatalf("writer %d key %d: %v", w, j, err)
+			}
+			if string(v) != fmt.Sprintf("g%06d", rounds) {
+				t.Fatalf("writer %d key %d: final gen %q, want g%06d", w, j, v, rounds)
+			}
+		}
+	}
+}

@@ -63,6 +63,25 @@ type Stats struct {
 	WALSyncs      int64
 	MaxWriteGroup int64
 
+	// Memtable gauges (the live memtable at the instant of the snapshot) and
+	// apply counters. MemtableShards is the configured shard count;
+	// MemtableEntries the live entry count; MemtableMaxShardEntries/
+	// MinShardEntries expose hash skew across shards. MemtableArenaReserved
+	// is the bytes held by arena chunks and node slabs, MemtableArenaUsed
+	// the bytes actually carved out of them — reserved-used is the
+	// allocator's current slack. ApplyShardRuns sums the shards touched per
+	// committed group (ApplyShardRuns/WriteGroups is the mean apply fan-out)
+	// and ParallelApplies counts groups applied by concurrent shard
+	// goroutines rather than inline.
+	MemtableShards          int64
+	MemtableEntries         int64
+	MemtableMaxShardEntries int64
+	MemtableMinShardEntries int64
+	MemtableArenaReserved   int64
+	MemtableArenaUsed       int64
+	ApplyShardRuns          int64
+	ParallelApplies         int64
+
 	// Error-policy counters. BackgroundRetries counts transient background
 	// failures that were retried; BackgroundErrors counts failures that
 	// turned sticky (retries exhausted, WAL/manifest poison);
@@ -131,6 +150,9 @@ type statsCollector struct {
 	walSyncs      atomic.Int64
 	maxWriteGroup atomic.Int64
 
+	applyShardRuns  atomic.Int64
+	parallelApplies atomic.Int64
+
 	bgRetries   atomic.Int64
 	bgErrors    atomic.Int64
 	corruptions atomic.Int64
@@ -168,6 +190,15 @@ func (c *statsCollector) addCommit(groupSize int64, synced bool) {
 		if groupSize <= max || c.maxWriteGroup.CompareAndSwap(max, groupSize) {
 			return
 		}
+	}
+}
+
+// addApply records how one committed group was distributed across memtable
+// shards and whether shard appliers ran in parallel.
+func (c *statsCollector) addApply(shardsTouched int64, parallel bool) {
+	c.applyShardRuns.Add(shardsTouched)
+	if parallel {
+		c.parallelApplies.Add(1)
 	}
 }
 
@@ -223,6 +254,8 @@ func (c *statsCollector) snapshot() Stats {
 	s.GroupedWrites = c.groupedWrites.Load()
 	s.WALSyncs = c.walSyncs.Load()
 	s.MaxWriteGroup = c.maxWriteGroup.Load()
+	s.ApplyShardRuns = c.applyShardRuns.Load()
+	s.ParallelApplies = c.parallelApplies.Load()
 	s.BackgroundRetries = c.bgRetries.Load()
 	s.BackgroundErrors = c.bgErrors.Load()
 	s.CorruptionsDetected = c.corruptions.Load()

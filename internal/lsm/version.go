@@ -290,17 +290,19 @@ type tableEntry struct {
 
 // tableHandle is a caller's leased reference to a cached reader. Close it
 // when done; the reader stays valid until then even if the table is evicted.
+// It is a small value (no heap allocation per lease) — copy it freely, but
+// Close each lease exactly once.
 type tableHandle struct {
 	c *tableCache
 	e *tableEntry
 }
 
 // Reader returns the leased reader.
-func (h *tableHandle) Reader() *sstable.Reader { return h.e.r }
+func (h tableHandle) Reader() *sstable.Reader { return h.e.r }
 
 // Close releases the lease, closing the reader if it was evicted and this
 // was the last reference.
-func (h *tableHandle) Close() {
+func (h tableHandle) Close() {
 	h.c.mu.Lock()
 	h.e.refs--
 	dead := h.e.refs == 0
@@ -316,12 +318,12 @@ func newTableCache(fs storage.FS, blocks *cache.Cache, heat *cache.Heat) *tableC
 
 // Get leases a reader for table num, opening it if needed. Callers must
 // Close the returned handle.
-func (c *tableCache) Get(num uint64) (*tableHandle, error) {
+func (c *tableCache) Get(num uint64) (tableHandle, error) {
 	c.mu.Lock()
 	if e, ok := c.m[num]; ok {
 		e.refs++
 		c.mu.Unlock()
-		return &tableHandle{c: c, e: e}, nil
+		return tableHandle{c: c, e: e}, nil
 	}
 	c.mu.Unlock()
 	// Open outside the lock: FS opens may be slow (or simulated-slow), and
@@ -329,12 +331,12 @@ func (c *tableCache) Get(num uint64) (*tableHandle, error) {
 	// lost race.
 	f, err := c.fs.Open(TableFileName(num))
 	if err != nil {
-		return nil, err
+		return tableHandle{}, err
 	}
 	r, err := sstable.NewReader(f, ikey.Compare)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return tableHandle{}, err
 	}
 	if c.blocks != nil {
 		r.SetBlockCache(c.blocks, num)
@@ -353,12 +355,12 @@ func (c *tableCache) Get(num uint64) (*tableHandle, error) {
 		e.refs++
 		c.mu.Unlock()
 		r.Close()
-		return &tableHandle{c: c, e: e}, nil
+		return tableHandle{c: c, e: e}, nil
 	}
 	e := &tableEntry{r: r, refs: 2} // the cache's reference + the caller's
 	c.m[num] = e
 	c.mu.Unlock()
-	return &tableHandle{c: c, e: e}, nil
+	return tableHandle{c: c, e: e}, nil
 }
 
 // Evict forgets the reader for a deleted table and drops its cached

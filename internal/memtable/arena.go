@@ -1,0 +1,60 @@
+package memtable
+
+import "sync/atomic"
+
+// DefaultArenaChunk is the byte-arena chunk size used when Config.ChunkSize
+// is zero. Chunks are small enough that a nearly-empty memtable costs little
+// and large enough that a busy shard allocates a handful of chunks, not
+// thousands.
+const DefaultArenaChunk = 64 << 10
+
+// arena is a chunked append-only byte allocator. Key and value bytes are
+// carved out of the current chunk; when a memtable is dropped the whole
+// arena is freed as a few chunk slices instead of millions of tiny objects.
+//
+// Only the shard's single writer allocates. Readers never touch the arena
+// directly — they reach allocated bytes through node key/value subslices
+// whose visibility is guaranteed by the skiplist's atomic next-pointer
+// publication (the copy into the arena happens-before the node is linked).
+// The reserved/used counters are atomics only so Stats snapshots can read
+// them without stopping the writer.
+type arena struct {
+	chunkSize int
+	cur       []byte   // current chunk; len = bytes handed out, cap = chunk size
+	chunks    [][]byte // all chunks, including cur, kept alive until the arena dies
+	reserved  atomic.Int64
+	used      atomic.Int64
+}
+
+func newArena(chunkSize int) *arena {
+	if chunkSize <= 0 {
+		chunkSize = DefaultArenaChunk
+	}
+	return &arena{chunkSize: chunkSize}
+}
+
+// alloc returns a fresh n-byte slice carved from the arena. The bytes are
+// zeroed (Go-allocated) and owned by the caller until the arena is dropped.
+// Requests larger than the chunk size get a dedicated chunk so huge values
+// don't force a huge chunk-size default.
+func (a *arena) alloc(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	if n > a.chunkSize {
+		b := make([]byte, n)
+		a.chunks = append(a.chunks, b)
+		a.reserved.Add(int64(n))
+		a.used.Add(int64(n))
+		return b
+	}
+	if cap(a.cur)-len(a.cur) < n {
+		a.cur = make([]byte, 0, a.chunkSize)
+		a.chunks = append(a.chunks, a.cur)
+		a.reserved.Add(int64(a.chunkSize))
+	}
+	off := len(a.cur)
+	a.cur = a.cur[:off+n]
+	a.used.Add(int64(n))
+	return a.cur[off : off+n : off+n]
+}

@@ -1,53 +1,334 @@
 package memtable
 
 import (
+	"math/bits"
+	"runtime"
+	"sync"
+
 	"pcplsm/internal/ikey"
 )
 
-// Memtable is the mutable in-memory component of the LSM-tree. It wraps the
-// skiplist with the user-key API the DB needs: versioned puts/deletes and
-// snapshot reads.
-type Memtable struct {
-	list *Skiplist
+// MaxShards caps Config.Shards; beyond this the merged iterator's linear
+// min-scan and the per-shard fixed costs outweigh any apply parallelism.
+const MaxShards = 64
+
+// minParallelApply is the smallest write group (in ops) worth fanning out to
+// shard goroutines; below it the spawn/wait overhead exceeds the insert work.
+const minParallelApply = 8
+
+// Config sizes a memtable. The zero value means one shard with default
+// arena chunking and a fixed RNG seed — the pre-sharding behavior.
+type Config struct {
+	// Shards is the number of independent skiplists, partitioned by
+	// user-key hash. Values are clamped to [1, MaxShards] and rounded up to
+	// a power of two. Sharding never changes observable contents or WAL
+	// bytes — only which internal structure holds each key.
+	Shards int
+	// ChunkSize is the per-shard arena chunk size in bytes
+	// (DefaultArenaChunk if zero).
+	ChunkSize int
+	// Seed fixes the node-height RNG sequences (shard i derives its own
+	// state from Seed+i). Zero selects a fixed default.
+	Seed int64
 }
 
-// New returns an empty memtable.
-func New() *Memtable { return &Memtable{list: NewSkiplist(0xC0FFEE)} }
+// NormalShards returns cfg.Shards clamped and rounded as New will apply it.
+func NormalShards(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
 
-// Put records a Set of ukey to value at sequence seq.
+// Op is one versioned mutation, the unit Apply distributes across shards.
+// Key and Val are read during Apply only (copied into the arena), so callers
+// may reuse their backing buffers afterwards.
+type Op struct {
+	Seq  uint64
+	Kind ikey.Kind
+	Key  []byte
+	Val  []byte
+}
+
+// Memtable is the mutable in-memory component of the LSM-tree: N skiplist
+// shards partitioned by user-key hash, each arena-backed.
+//
+// Concurrency contract: all mutations (Put, Delete, Apply) must be
+// serialized by the caller — the DB does so with its commit mutex. Apply
+// itself may fan a write group out to parallel per-shard goroutines, which
+// is safe because each shard has a single writer within the group and
+// groups never overlap. Readers (Get, iterators) are lock-free and may run
+// concurrently with any mutation.
+type Memtable struct {
+	shards []*Skiplist
+	mask   uint64
+	stage  [][]Op // per-shard staging for Apply; reused across groups
+}
+
+// New returns an empty memtable configured by cfg.
+func New(cfg Config) *Memtable {
+	n := NormalShards(cfg.Shards)
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0xC0FFEE
+	}
+	m := &Memtable{shards: make([]*Skiplist, n), mask: uint64(n - 1)}
+	for i := range m.shards {
+		m.shards[i] = newSkiplist(uint64(seed)+uint64(i), newArena(cfg.ChunkSize))
+	}
+	if n > 1 {
+		m.stage = make([][]Op, n)
+	}
+	return m
+}
+
+// shardOf routes a user key to its shard by FNV-1a hash. All versions of a
+// user key land in one shard, so point reads probe exactly one skiplist.
+func (m *Memtable) shardOf(ukey []byte) *Skiplist {
+	return m.shards[m.shardIndex(ukey)]
+}
+
+func (m *Memtable) shardIndex(ukey []byte) int {
+	if m.mask == 0 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, c := range ukey {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return int(h & m.mask)
+}
+
+// Put records a Set of ukey to value at sequence seq. Serialized with all
+// other mutations by the caller.
 func (m *Memtable) Put(seq uint64, ukey, value []byte) {
-	m.list.Insert(ikey.Make(ukey, seq, ikey.KindSet), append([]byte(nil), value...))
+	m.shardOf(ukey).InsertVersion(seq, ikey.KindSet, ukey, value)
 }
 
 // Delete records a tombstone for ukey at sequence seq.
 func (m *Memtable) Delete(seq uint64, ukey []byte) {
-	m.list.Insert(ikey.Make(ukey, seq, ikey.KindDelete), nil)
+	m.shardOf(ukey).InsertVersion(seq, ikey.KindDelete, ukey, nil)
+}
+
+// Apply inserts a whole write group, splitting it into per-shard sub-batches
+// applied by parallel shard goroutines when the group is large enough.
+// It returns how many shards the group touched and whether it was applied in
+// parallel. Apply does not publish visibility: the caller advances its
+// visibility watermark after Apply returns, so no reader observes a
+// partially applied group regardless of shard completion order.
+func (m *Memtable) Apply(ops []Op) (shardsTouched int, parallel bool) {
+	if len(m.shards) == 1 {
+		s := m.shards[0]
+		for _, op := range ops {
+			s.InsertVersion(op.Seq, op.Kind, op.Key, op.Val)
+		}
+		return 1, false
+	}
+	// Serial path: small groups, and any group on a single-P runtime (where
+	// goroutine fan-out is pure overhead). Ops route straight to their
+	// shards with no staging pass; a bitmask (MaxShards <= 64) counts the
+	// shards touched for the stats.
+	if len(ops) < minParallelApply || runtime.GOMAXPROCS(0) == 1 {
+		var touched uint64
+		for _, op := range ops {
+			i := m.shardIndex(op.Key)
+			touched |= 1 << uint(i)
+			m.shards[i].InsertVersion(op.Seq, op.Kind, op.Key, op.Val)
+		}
+		return bits.OnesCount64(touched), false
+	}
+	for i := range m.stage {
+		m.stage[i] = m.stage[i][:0]
+	}
+	for _, op := range ops {
+		i := m.shardIndex(op.Key)
+		if len(m.stage[i]) == 0 {
+			shardsTouched++
+		}
+		m.stage[i] = append(m.stage[i], op)
+	}
+	if shardsTouched <= 1 {
+		for i, sub := range m.stage {
+			s := m.shards[i]
+			for _, op := range sub {
+				s.InsertVersion(op.Seq, op.Kind, op.Key, op.Val)
+			}
+		}
+		return shardsTouched, false
+	}
+	var wg sync.WaitGroup
+	for i, sub := range m.stage {
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *Skiplist, sub []Op) {
+			defer wg.Done()
+			for _, op := range sub {
+				s.InsertVersion(op.Seq, op.Kind, op.Key, op.Val)
+			}
+		}(m.shards[i], sub)
+	}
+	wg.Wait()
+	return shardsTouched, true
 }
 
 // Get returns the newest version of ukey visible at snapshot seq.
 // ok reports whether any version exists; deleted reports whether that
-// version is a tombstone (in which case value is nil).
+// version is a tombstone (in which case value is nil). The returned value
+// aliases the memtable's arena: it stays valid while the memtable is
+// referenced and must not be modified.
 func (m *Memtable) Get(ukey []byte, seq uint64) (value []byte, deleted, ok bool) {
-	it := m.list.NewIter()
-	if !it.Seek(ikey.SearchKey(ukey, seq)) {
-		return nil, false, false
-	}
-	k := it.Key()
-	if string(ikey.UserKey(k)) != string(ukey) {
-		return nil, false, false
-	}
-	if ikey.KindOf(k) == ikey.KindDelete {
-		return nil, true, true
-	}
-	return it.Value(), false, true
+	return m.shardOf(ukey).getVersion(ukey, seq)
 }
 
 // ApproximateSize returns the approximate memory footprint in bytes; the DB
 // compares it against Options.MemtableSize to decide when to rotate.
-func (m *Memtable) ApproximateSize() int64 { return m.list.ApproximateSize() }
+func (m *Memtable) ApproximateSize() int64 {
+	var n int64
+	for _, s := range m.shards {
+		n += s.ApproximateSize()
+	}
+	return n
+}
 
 // Count returns the number of entries (versions, not distinct user keys).
-func (m *Memtable) Count() int64 { return m.list.Count() }
+func (m *Memtable) Count() int64 {
+	var n int64
+	for _, s := range m.shards {
+		n += s.Count()
+	}
+	return n
+}
+
+// MemStats is a point-in-time snapshot of the memtable's memory layout.
+type MemStats struct {
+	Shards          int
+	Entries         int64
+	MaxShardEntries int64 // largest shard, to expose hash skew
+	MinShardEntries int64
+	ArenaReserved   int64 // bytes reserved by arena chunks and node slabs
+	ArenaUsed       int64 // bytes actually carved out of them
+}
+
+// Stats snapshots memory gauges. Safe to call concurrently with mutations;
+// counters are read atomically per shard (the snapshot is not a consistent
+// cut across shards, which is fine for gauges).
+func (m *Memtable) Stats() MemStats {
+	st := MemStats{Shards: len(m.shards)}
+	for i, s := range m.shards {
+		c := s.Count()
+		st.Entries += c
+		if i == 0 || c > st.MaxShardEntries {
+			st.MaxShardEntries = c
+		}
+		if i == 0 || c < st.MinShardEntries {
+			st.MinShardEntries = c
+		}
+		st.ArenaReserved += s.arena.reserved.Load()
+		st.ArenaUsed += s.arena.used.Load()
+	}
+	return st
+}
+
+// Iter merges the shard skiplists into one sorted view of internal keys.
+// Internal keys are globally unique (every version of a user key lives in
+// one shard), so the merge never ties. A single-shard memtable iterates its
+// skiplist directly.
+type Iter struct {
+	single *SkipIter  // fast path when there is one shard
+	its    []SkipIter // per-shard iterators, inline to avoid per-shard allocs
+	cur    int        // index of the current minimum, -1 when invalid
+}
 
 // NewIter returns an iterator over internal keys in sorted order.
-func (m *Memtable) NewIter() *Iter { return m.list.NewIter() }
+func (m *Memtable) NewIter() *Iter {
+	if len(m.shards) == 1 {
+		return &Iter{single: m.shards[0].NewIter(), cur: -1}
+	}
+	it := &Iter{its: make([]SkipIter, len(m.shards)), cur: -1}
+	for i, s := range m.shards {
+		it.its[i].list = s
+	}
+	return it
+}
+
+// findMin scans the shard iterators for the smallest current key. Linear in
+// shard count, which is capped at MaxShards and typically single digits —
+// the same trade the DB-level merge iterator makes.
+func (it *Iter) findMin() bool {
+	it.cur = -1
+	for i := range it.its {
+		s := &it.its[i]
+		if !s.Valid() {
+			continue
+		}
+		if it.cur < 0 || ikey.Compare(s.Key(), it.its[it.cur].Key()) < 0 {
+			it.cur = i
+		}
+	}
+	return it.cur >= 0
+}
+
+// Valid reports whether the iterator is on an entry.
+func (it *Iter) Valid() bool {
+	if it.single != nil {
+		return it.single.Valid()
+	}
+	return it.cur >= 0
+}
+
+// Key returns the current internal key (aliasing the arena).
+func (it *Iter) Key() []byte {
+	if it.single != nil {
+		return it.single.Key()
+	}
+	return it.its[it.cur].Key()
+}
+
+// Value returns the current value (aliasing the arena).
+func (it *Iter) Value() []byte {
+	if it.single != nil {
+		return it.single.Value()
+	}
+	return it.its[it.cur].Value()
+}
+
+// First moves to the first entry.
+func (it *Iter) First() bool {
+	if it.single != nil {
+		return it.single.First()
+	}
+	for i := range it.its {
+		it.its[i].First()
+	}
+	return it.findMin()
+}
+
+// Next advances one entry.
+func (it *Iter) Next() bool {
+	if it.single != nil {
+		return it.single.Next()
+	}
+	it.its[it.cur].Next()
+	return it.findMin()
+}
+
+// Seek moves to the first entry with internal key >= target.
+func (it *Iter) Seek(target []byte) bool {
+	if it.single != nil {
+		return it.single.Seek(target)
+	}
+	for i := range it.its {
+		it.its[i].Seek(target)
+	}
+	return it.findMin()
+}

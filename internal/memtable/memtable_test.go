@@ -64,7 +64,7 @@ func TestSkiplistSeek(t *testing.T) {
 }
 
 func TestMemtableGetVersions(t *testing.T) {
-	m := New()
+	m := New(Config{})
 	m.Put(1, []byte("a"), []byte("v1"))
 	m.Put(5, []byte("a"), []byte("v5"))
 	m.Delete(8, []byte("a"))
@@ -96,7 +96,7 @@ func TestMemtableGetVersions(t *testing.T) {
 }
 
 func TestMemtableGetMissing(t *testing.T) {
-	m := New()
+	m := New(Config{})
 	m.Put(1, []byte("b"), []byte("v"))
 	if _, _, ok := m.Get([]byte("a"), ikey.MaxSeq); ok {
 		t.Fatal("Get(a) should miss")
@@ -111,7 +111,7 @@ func TestMemtableGetMissing(t *testing.T) {
 }
 
 func TestMemtableValueIsolation(t *testing.T) {
-	m := New()
+	m := New(Config{})
 	v := []byte("mutable")
 	m.Put(1, []byte("k"), v)
 	v[0] = 'X'
@@ -122,7 +122,7 @@ func TestMemtableValueIsolation(t *testing.T) {
 }
 
 func TestApproximateSizeGrows(t *testing.T) {
-	m := New()
+	m := New(Config{})
 	prev := m.ApproximateSize()
 	for i := 0; i < 100; i++ {
 		m.Put(uint64(i+1), []byte(fmt.Sprintf("key%d", i)), bytes.Repeat([]byte{'v'}, 100))
@@ -143,7 +143,7 @@ func TestQuickAgainstReferenceMap(t *testing.T) {
 		Val uint16
 	}
 	f := func(ops []op) bool {
-		m := New()
+		m := New(Config{})
 		ref := map[string]string{} // latest value; "" + tombstone map
 		dead := map[string]bool{}
 		seq := uint64(0)
@@ -186,7 +186,7 @@ func TestQuickAgainstReferenceMap(t *testing.T) {
 // TestConcurrentReadersDuringInsert exercises the single-writer/N-reader
 // contract under the race detector.
 func TestConcurrentReadersDuringInsert(t *testing.T) {
-	m := New()
+	m := New(Config{})
 	const total = 2000
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -234,7 +234,7 @@ func TestConcurrentReadersDuringInsert(t *testing.T) {
 }
 
 func TestIterSeesSortedInternalKeys(t *testing.T) {
-	m := New()
+	m := New(Config{})
 	// Multiple versions of the same user key must appear newest-first.
 	m.Put(1, []byte("x"), []byte("old"))
 	m.Put(9, []byte("x"), []byte("new"))
@@ -251,7 +251,7 @@ func TestIterSeesSortedInternalKeys(t *testing.T) {
 }
 
 func BenchmarkInsert(b *testing.B) {
-	m := New()
+	m := New(Config{})
 	keys := make([][]byte, 10000)
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("user%016d", i*7919%100000))
@@ -264,7 +264,7 @@ func BenchmarkInsert(b *testing.B) {
 }
 
 func BenchmarkGet(b *testing.B) {
-	m := New()
+	m := New(Config{})
 	for i := 0; i < 10000; i++ {
 		m.Put(uint64(i+1), []byte(fmt.Sprintf("user%016d", i)), []byte("v"))
 	}

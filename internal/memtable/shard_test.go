@@ -1,0 +1,193 @@
+package memtable
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pcplsm/internal/ikey"
+)
+
+func TestNormalShards(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{7, 8}, {8, 8}, {9, 16}, {33, 64}, {64, 64}, {1000, 64},
+	}
+	for _, c := range cases {
+		if got := NormalShards(c.in); got != c.want {
+			t.Errorf("NormalShards(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// applyAll pushes ops through Apply in groups, mimicking the commit leader.
+func applyAll(m *Memtable, ops []Op, groupSize int) {
+	for len(ops) > 0 {
+		n := groupSize
+		if n > len(ops) {
+			n = len(ops)
+		}
+		m.Apply(ops[:n])
+		ops = ops[n:]
+	}
+}
+
+// TestShardedMatchesUnsharded checks the core equivalence contract: any shard
+// count yields exactly the same merged contents and scan order as a single
+// skiplist.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5A4D))
+	var ops []Op
+	for seq := uint64(1); seq <= 4000; seq++ {
+		k := []byte(fmt.Sprintf("user%04d", rng.Intn(700)))
+		kind, val := ikey.KindSet, []byte(fmt.Sprintf("val-%d", seq))
+		if rng.Intn(10) == 0 {
+			kind, val = ikey.KindDelete, nil
+		}
+		ops = append(ops, Op{Seq: seq, Kind: kind, Key: k, Val: val})
+	}
+
+	ref := New(Config{Shards: 1})
+	applyAll(ref, ops, 17)
+	for _, shards := range []int{2, 4, 8} {
+		m := New(Config{Shards: shards})
+		applyAll(m, ops, 17)
+
+		if got, want := m.Count(), ref.Count(); got != want {
+			t.Fatalf("shards=%d: count %d, want %d", shards, got, want)
+		}
+		ri, mi := ref.NewIter(), m.NewIter()
+		rok, mok := ri.First(), mi.First()
+		n := 0
+		for rok && mok {
+			if string(ri.Key()) != string(mi.Key()) || string(ri.Value()) != string(mi.Value()) {
+				t.Fatalf("shards=%d: entry %d diverges: %q/%q vs %q/%q",
+					shards, n, ri.Key(), ri.Value(), mi.Key(), mi.Value())
+			}
+			rok, mok = ri.Next(), mi.Next()
+			n++
+		}
+		if rok != mok {
+			t.Fatalf("shards=%d: iterators end at different lengths after %d entries", shards, n)
+		}
+
+		// Point reads agree too, at a few snapshot seqs.
+		for _, seq := range []uint64{1, 137, 2000, 4000} {
+			for i := 0; i < 700; i++ {
+				k := []byte(fmt.Sprintf("user%04d", i))
+				rv, rd, rk := ref.Get(k, seq)
+				mv, md, mk := m.Get(k, seq)
+				if rd != md || rk != mk || string(rv) != string(mv) {
+					t.Fatalf("shards=%d: Get(%q,%d) = (%q,%v,%v), want (%q,%v,%v)",
+						shards, k, seq, mv, md, mk, rv, rd, rk)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedStatsSkew exercises the shard-skew gauges.
+func TestShardedStatsSkew(t *testing.T) {
+	m := New(Config{Shards: 4})
+	for seq := uint64(1); seq <= 512; seq++ {
+		m.Put(seq, []byte(fmt.Sprintf("k%05d", seq)), []byte("v"))
+	}
+	st := m.Stats()
+	if st.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", st.Shards)
+	}
+	if st.Entries != 512 {
+		t.Fatalf("Entries = %d, want 512", st.Entries)
+	}
+	if st.MaxShardEntries < st.MinShardEntries {
+		t.Fatalf("max %d < min %d", st.MaxShardEntries, st.MinShardEntries)
+	}
+	if st.ArenaUsed <= 0 || st.ArenaReserved < st.ArenaUsed {
+		t.Fatalf("arena gauges inconsistent: reserved=%d used=%d", st.ArenaReserved, st.ArenaUsed)
+	}
+}
+
+// TestShardedApplyConcurrentReaders is the -race stress for the sharding
+// contract: one committer goroutine issues Apply groups (each fanning out to
+// parallel per-shard appliers), while lock-free point readers and full merged
+// scans run concurrently. Readers must only ever observe well-formed values
+// for the keys they find, and scans must always come back in sorted internal
+// key order.
+func TestShardedApplyConcurrentReaders(t *testing.T) {
+	// Force the parallel-apply path even on a single-CPU host (Apply gates
+	// the fan-out on GOMAXPROCS): the race detector checks the contract from
+	// goroutine interleavings, not real parallelism.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	m := New(Config{Shards: 8, ChunkSize: 16 << 10})
+	const (
+		keys   = 400
+		groups = 300
+		group  = 16 // >= minParallelApply so the parallel path runs
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Point readers: a value for key i must always be "val-i-<seq>".
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r) + 99))
+			for !stop.Load() {
+				i := rng.Intn(keys)
+				k := []byte(fmt.Sprintf("user%04d", i))
+				if v, deleted, ok := m.Get(k, ^uint64(0)>>8); ok && !deleted {
+					want := fmt.Sprintf("val-%d-", i)
+					if len(v) < len(want) || string(v[:len(want)]) != want {
+						t.Errorf("reader saw torn value %q for key %q", v, k)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Scanner: merged iterator must stay sorted mid-write.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			it := m.NewIter()
+			var prev []byte
+			for ok := it.First(); ok; ok = it.Next() {
+				if prev != nil && ikey.Compare(prev, it.Key()) >= 0 {
+					t.Errorf("scan out of order: %q then %q", prev, it.Key())
+					return
+				}
+				prev = append(prev[:0], it.Key()...)
+			}
+		}
+	}()
+
+	// Single committer: groups span shards, triggering parallel appliers.
+	seq := uint64(0)
+	rng := rand.New(rand.NewSource(7))
+	for g := 0; g < groups; g++ {
+		ops := make([]Op, 0, group)
+		for j := 0; j < group; j++ {
+			seq++
+			i := rng.Intn(keys)
+			ops = append(ops, Op{
+				Seq:  seq,
+				Kind: ikey.KindSet,
+				Key:  []byte(fmt.Sprintf("user%04d", i)),
+				Val:  []byte(fmt.Sprintf("val-%d-%d", i, seq)),
+			})
+		}
+		m.Apply(ops)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := m.Count(); got != int64(groups*group) {
+		t.Fatalf("Count = %d, want %d", got, groups*group)
+	}
+}

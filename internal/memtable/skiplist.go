@@ -1,11 +1,16 @@
 // Package memtable implements the in-memory component C0 of the LSM-tree: a
-// skiplist keyed by internal keys, supporting a single concurrent writer and
-// any number of lock-free readers (the LevelDB concurrency contract — the DB
-// serializes writers with its own mutex).
+// set of skiplists keyed by internal keys. Each skiplist supports a single
+// concurrent writer and any number of lock-free readers (the LevelDB
+// concurrency contract); the Memtable wrapper shards user keys across
+// skiplists so independent shard writers can apply a write group in
+// parallel.
 package memtable
 
 import (
-	"math/rand"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"pcplsm/internal/ikey"
@@ -15,100 +20,252 @@ const (
 	maxHeight = 12
 	// branching is the inverse probability of growing a node by one level.
 	branching = 4
+
+	// headRef is the node ref of the head sentinel (the first slab slot).
+	// Ref 0 is reserved as the nil link.
+	headRef = 1
+
+	// nodeBlockBase is the node count of the first slab block; block i holds
+	// nodeBlockBase<<i nodes so capacity doubles per block.
+	nodeBlockBase = 512
+	maxNodeBlocks = 20
+
+	// nodeSize approximates the in-memory footprint of one slab node for
+	// size accounting (two slice headers + maxHeight uint32 links).
+	nodeSize = 96
 )
 
-// node is a skiplist node. key and value are immutable after insertion; the
-// next pointers are published with atomic stores so readers never observe a
-// half-linked node.
+// node is a skiplist node. key and value are immutable subslices of the
+// arena after insertion; next holds node refs (slab index + 1, 0 = nil)
+// published with atomic stores so readers never observe a half-linked node.
+// Nodes live in slab blocks instead of the heap, so a memtable's nodes are
+// freed as ~a dozen blocks rather than millions of objects.
 type node struct {
-	key   []byte // internal key
-	value []byte
-	next  []atomic.Pointer[node]
+	key []byte // internal key
+	val []byte
+	// next[i] is the level-i successor ref. A fixed-height array keeps every
+	// node in one slab slot; the unused tail of short nodes stays zero.
+	next [maxHeight]atomic.Uint32
 }
 
-func newNode(key, value []byte, height int) *node {
-	return &node{key: key, value: value, next: make([]atomic.Pointer[node], height)}
-}
-
-// Skiplist is an ordered map from internal key to value.
+// Skiplist is an ordered map from internal key to value, arena-backed.
 type Skiplist struct {
-	head   *node
+	arena *arena
+	// blocks is the node slab: geometrically growing []node blocks, each
+	// published once with an atomic store before any node inside it becomes
+	// reachable, so lock-free readers may deref refs without synchronizing
+	// with slab growth.
+	blocks [maxNodeBlocks]atomic.Pointer[[]node]
+	nNodes uint32 // nodes allocated, including the head; writer-only
 	height atomic.Int32
 	size   atomic.Int64 // approximate memory footprint in bytes
 	count  atomic.Int64
-	rng    *rand.Rand // guarded by the single-writer contract
+	// rng is an inline xorshift state for node heights. Each skiplist owns
+	// its state, so parallel shard writers never share RNG state — the
+	// single-writer contract is per shard, not global.
+	rng uint64
 }
 
-// NewSkiplist returns an empty skiplist. seed fixes the node-height sequence
-// so tests are reproducible.
+// NewSkiplist returns an empty skiplist backed by its own arena. seed fixes
+// the node-height sequence so tests are reproducible.
 func NewSkiplist(seed int64) *Skiplist {
-	s := &Skiplist{
-		head: newNode(nil, nil, maxHeight),
-		rng:  rand.New(rand.NewSource(seed)),
-	}
+	return newSkiplist(uint64(seed), newArena(0))
+}
+
+func newSkiplist(seed uint64, a *arena) *Skiplist {
+	s := &Skiplist{arena: a}
+	// splitmix64 finalizer: spreads small seeds over the whole state space;
+	// |1 keeps xorshift out of its zero fixed point.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	s.rng = (z ^ (z >> 31)) | 1
 	s.height.Store(1)
+	ref, _ := s.newNode()
+	if ref != headRef {
+		panic("memtable: head sentinel must be the first slab node")
+	}
 	return s
 }
 
-// randomHeight draws a height with P(h) ∝ branching^-h.
+// node derefs a non-nil node ref. pos = ref-1; block b holds positions
+// [nodeBlockBase*(2^b - 1), nodeBlockBase*(2^(b+1) - 1)).
+func (s *Skiplist) node(ref uint32) *node {
+	pos := ref - 1
+	b := bits.Len32(pos/nodeBlockBase+1) - 1
+	blk := *s.blocks[b].Load()
+	return &blk[pos-nodeBlockBase*(uint32(1)<<b-1)]
+}
+
+func (s *Skiplist) nodeOrNil(ref uint32) *node {
+	if ref == 0 {
+		return nil
+	}
+	return s.node(ref)
+}
+
+// newNode allocates the next slab slot, growing the slab by one block when
+// full. Writer-only; the block pointer store is atomic so readers racing on
+// a just-published ref observe the block.
+func (s *Skiplist) newNode() (uint32, *node) {
+	pos := s.nNodes
+	b := bits.Len32(pos/nodeBlockBase+1) - 1
+	if b >= maxNodeBlocks {
+		panic(fmt.Sprintf("memtable: skiplist exceeds %d nodes", s.nNodes))
+	}
+	start := nodeBlockBase * (uint32(1)<<b - 1)
+	blkp := s.blocks[b].Load()
+	if blkp == nil {
+		blk := make([]node, nodeBlockBase<<b)
+		s.arena.reserved.Add(int64(len(blk)) * nodeSize)
+		s.blocks[b].Store(&blk)
+		blkp = &blk
+	}
+	s.nNodes++
+	s.arena.used.Add(nodeSize)
+	return pos + 1, &(*blkp)[pos-start]
+}
+
+// randomHeight draws a height with P(h) ∝ branching^-h from the inline
+// xorshift64 state (writer-only).
 func (s *Skiplist) randomHeight() int {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
 	h := 1
-	for h < maxHeight && s.rng.Intn(branching) == 0 {
+	for h < maxHeight && x&(branching-1) == 0 {
 		h++
+		x >>= 2
 	}
 	return h
 }
 
-// findGreaterOrEqual returns the first node with key >= target, also filling
-// prev with the rightmost node before target at every level when prev is
-// non-nil.
-func (s *Skiplist) findGreaterOrEqual(target []byte, prev *[maxHeight]*node) *node {
-	x := s.head
+// cmpNodeKey orders a node's internal key against a target decomposed into
+// (user key, trailer): user key ascending, then trailer descending. Taking
+// the decomposed form lets seeks run without materializing a search key.
+func cmpNodeKey(k, tuser []byte, ttrailer uint64) int {
+	if c := bytes.Compare(k[:len(k)-ikey.TrailerLen], tuser); c != 0 {
+		return c
+	}
+	kt := binary.LittleEndian.Uint64(k[len(k)-ikey.TrailerLen:])
+	switch {
+	case kt > ttrailer:
+		return -1
+	case kt < ttrailer:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// findGE returns the ref of the first node with internal key >=
+// (tuser, ttrailer), also filling prev with the rightmost node before the
+// target at every level when prev is non-nil.
+func (s *Skiplist) findGE(tuser []byte, ttrailer uint64, prev *[maxHeight]uint32) uint32 {
+	x := uint32(headRef)
+	xn := s.node(x)
 	level := int(s.height.Load()) - 1
 	for {
-		next := x.next[level].Load()
-		if next != nil && ikey.Compare(next.key, target) < 0 {
-			x = next
-			continue
+		nref := xn.next[level].Load()
+		if nref != 0 {
+			n := s.node(nref)
+			if cmpNodeKey(n.key, tuser, ttrailer) < 0 {
+				x, xn = nref, n
+				continue
+			}
 		}
 		if prev != nil {
 			prev[level] = x
 		}
 		if level == 0 {
-			return next
+			return nref
 		}
 		level--
 	}
 }
 
-// Insert adds an internal key/value pair. Keys must be unique — the DB
-// guarantees this by stamping every write with a fresh sequence number.
-// Insert must only be called from one goroutine at a time.
+// Insert adds an internal key/value pair, copying both into the arena. Keys
+// must be unique — the DB guarantees this by stamping every write with a
+// fresh sequence number. Insert must only be called from one goroutine at a
+// time (per skiplist; distinct shards may insert concurrently).
 func (s *Skiplist) Insert(key, value []byte) {
-	var prev [maxHeight]*node
-	s.findGreaterOrEqual(key, &prev)
+	if !ikey.Valid(key) {
+		panic(fmt.Sprintf("memtable: invalid internal key of %d bytes", len(key)))
+	}
+	k := s.arena.alloc(len(key))
+	copy(k, key)
+	var v []byte
+	if len(value) > 0 {
+		v = s.arena.alloc(len(value))
+		copy(v, value)
+	}
+	s.insertArena(k, v)
+}
+
+// InsertVersion encodes the internal key (ukey, seq, kind) directly into the
+// arena — the zero-allocation commit path — and copies value in beside it.
+func (s *Skiplist) InsertVersion(seq uint64, kind ikey.Kind, ukey, value []byte) {
+	k := s.arena.alloc(len(ukey) + ikey.TrailerLen)
+	copy(k, ukey)
+	ikey.PutTrailer(k[len(ukey):], seq, kind)
+	var v []byte
+	if len(value) > 0 {
+		v = s.arena.alloc(len(value))
+		copy(v, value)
+	}
+	s.insertArena(k, v)
+}
+
+// insertArena links a node whose key/value already live in the arena.
+func (s *Skiplist) insertArena(key, value []byte) {
+	var prev [maxHeight]uint32
+	user := key[:len(key)-ikey.TrailerLen]
+	trailer := binary.LittleEndian.Uint64(key[len(key)-ikey.TrailerLen:])
+	s.findGE(user, trailer, &prev)
 
 	h := s.randomHeight()
 	if cur := int(s.height.Load()); h > cur {
 		for i := cur; i < h; i++ {
-			prev[i] = s.head
+			prev[i] = headRef
 		}
 		// Readers that race with this store simply use the old height and
 		// miss the taller levels — still correct, just slower.
 		s.height.Store(int32(h))
 	}
 
-	n := newNode(key, value, h)
+	ref, n := s.newNode()
+	n.key, n.val = key, value
 	for i := 0; i < h; i++ {
-		n.next[i].Store(prev[i].next[i].Load())
+		n.next[i].Store(s.node(prev[i]).next[i].Load())
 	}
 	// Publish bottom-up so a reader following level-0 links always finds the
 	// node once any level points at it.
 	for i := 0; i < h; i++ {
-		prev[i].next[i].Store(n)
+		s.node(prev[i]).next[i].Store(ref)
 	}
-	s.size.Add(int64(len(key) + len(value) + 48)) // 48 ≈ node overhead
+	s.size.Add(int64(len(key) + len(value) + nodeSize))
 	s.count.Add(1)
+}
+
+// getVersion returns the newest version of ukey visible at snapshot seq
+// without allocating. The returned value aliases the arena: it stays valid
+// for as long as the skiplist is referenced.
+func (s *Skiplist) getVersion(ukey []byte, seq uint64) (value []byte, deleted, ok bool) {
+	ref := s.findGE(ukey, seq<<8|0xff, nil)
+	if ref == 0 {
+		return nil, false, false
+	}
+	n := s.node(ref)
+	k := n.key
+	if !bytes.Equal(k[:len(k)-ikey.TrailerLen], ukey) {
+		return nil, false, false
+	}
+	if ikey.KindOf(k) == ikey.KindDelete {
+		return nil, true, true
+	}
+	return n.val, false, true
 }
 
 // ApproximateSize returns the approximate memory footprint in bytes.
@@ -117,40 +274,40 @@ func (s *Skiplist) ApproximateSize() int64 { return s.size.Load() }
 // Count returns the number of inserted entries.
 func (s *Skiplist) Count() int64 { return s.count.Load() }
 
-// Iter iterates a snapshot-consistent view of the skiplist (it sees at least
-// all entries present when movement began; concurrent inserts may or may not
-// appear, matching LevelDB semantics).
-type Iter struct {
+// SkipIter iterates a snapshot-consistent view of one skiplist (it sees at
+// least all entries present when movement began; concurrent inserts may or
+// may not appear, matching LevelDB semantics).
+type SkipIter struct {
 	list *Skiplist
 	n    *node
 }
 
 // NewIter returns an iterator positioned before the first entry.
-func (s *Skiplist) NewIter() *Iter { return &Iter{list: s} }
+func (s *Skiplist) NewIter() *SkipIter { return &SkipIter{list: s} }
 
 // Valid reports whether the iterator is on an entry.
-func (it *Iter) Valid() bool { return it.n != nil }
+func (it *SkipIter) Valid() bool { return it.n != nil }
 
-// Key returns the current internal key.
-func (it *Iter) Key() []byte { return it.n.key }
+// Key returns the current internal key (aliasing the arena).
+func (it *SkipIter) Key() []byte { return it.n.key }
 
-// Value returns the current value.
-func (it *Iter) Value() []byte { return it.n.value }
+// Value returns the current value (aliasing the arena).
+func (it *SkipIter) Value() []byte { return it.n.val }
 
 // First moves to the first entry.
-func (it *Iter) First() bool {
-	it.n = it.list.head.next[0].Load()
+func (it *SkipIter) First() bool {
+	it.n = it.list.nodeOrNil(it.list.node(headRef).next[0].Load())
 	return it.n != nil
 }
 
 // Next advances one entry.
-func (it *Iter) Next() bool {
-	it.n = it.n.next[0].Load()
+func (it *SkipIter) Next() bool {
+	it.n = it.list.nodeOrNil(it.n.next[0].Load())
 	return it.n != nil
 }
 
 // Seek moves to the first entry with internal key >= target.
-func (it *Iter) Seek(target []byte) bool {
-	it.n = it.list.findGreaterOrEqual(target, nil)
+func (it *SkipIter) Seek(target []byte) bool {
+	it.n = it.list.nodeOrNil(it.list.findGE(ikey.UserKey(target), ikey.Trailer(target), nil))
 	return it.n != nil
 }

@@ -189,6 +189,12 @@ func (r *Reader) ReadRaw(dst []byte, h BlockHandle) ([]byte, error) {
 	return dst, nil
 }
 
+// physPool recycles buffers for physical (still-compressed) block reads.
+// Decompression never aliases its source (every codec appends into dst), so
+// a physical buffer is dead as soon as OpenBlock returns and can go straight
+// back to the pool.
+var physPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // ReadBlockData runs S1+S2+S3 and returns the plain block contents. With a
 // block cache attached, hot blocks skip both the I/O and the decompression;
 // the returned slice is then shared and must not be modified.
@@ -198,22 +204,33 @@ func (r *Reader) ReadBlockData(dst []byte, h BlockHandle) ([]byte, error) {
 		if v := r.bcache.Get(key); v != nil {
 			return v, nil
 		}
-		physical, err := r.ReadRaw(nil, h)
+		bp := physPool.Get().(*[]byte)
+		physical, err := r.ReadRaw((*bp)[:0], h)
 		if err != nil {
+			physPool.Put(bp)
 			return nil, err
 		}
+		// The decompressed block must be freshly allocated — it is handed to
+		// the cache and shared — but the physical bytes are scratch.
 		plain, err := OpenBlock(nil, physical)
+		*bp = physical
+		physPool.Put(bp)
 		if err != nil {
 			return nil, err
 		}
 		r.bcache.Put(key, plain)
 		return plain, nil
 	}
-	physical, err := r.ReadRaw(nil, h)
+	bp := physPool.Get().(*[]byte)
+	physical, err := r.ReadRaw((*bp)[:0], h)
 	if err != nil {
+		physPool.Put(bp)
 		return nil, err
 	}
-	return OpenBlock(dst, physical)
+	plain, err := OpenBlock(dst, physical)
+	*bp = physical
+	physPool.Put(bp)
+	return plain, err
 }
 
 // Get returns the value of the first entry with key >= target if that
@@ -228,11 +245,16 @@ func (r *Reader) Get(target []byte) (key, value []byte, ok bool, err error) {
 	return it.Key(), it.Value(), true, nil
 }
 
-// Iter is a two-level iterator over the table.
+// Iter is a two-level iterator over the table. Iterators are pooled: Close
+// returns the iterator (with its block-iterator scratch and decode buffer)
+// to a package pool, which is what makes a cached point read allocation-free
+// — so Key/Value aliases must not be used after Close.
 type Iter struct {
 	r        *Reader
-	blockIdx int // current data block, -1 before start
-	bi       *block.Iter
+	blockIdx int        // current data block, -1 before start
+	bi       block.Iter // embedded by value and Reset per block, never reallocated
+	biSet    bool       // bi is bound to the current block
+	closed   bool       // guards against double-Close returning the iter to the pool twice
 	buf      []byte
 	err      error
 
@@ -262,9 +284,19 @@ type prefetchResult struct {
 	err    error
 }
 
-// NewIter returns an iterator positioned before the first entry.
+// iterPool recycles table iterators and their scratch buffers (block
+// iterator key buffer, decode buffer) across point reads and scans.
+var iterPool = sync.Pool{New: func() any { return new(Iter) }}
+
+// NewIter returns an iterator positioned before the first entry, drawn from
+// the iterator pool. Close returns it; an iterator that is never closed is
+// simply collected by the GC.
 func (r *Reader) NewIter() *Iter {
-	return &Iter{r: r, blockIdx: -1}
+	it := iterPool.Get().(*Iter)
+	it.r = r
+	it.blockIdx = -1
+	it.closed = false
+	return it
 }
 
 // SetReadahead sets the number of data blocks the iterator prefetches
@@ -279,10 +311,14 @@ func (it *Iter) SetReadahead(n int) {
 	it.ra = n
 }
 
-// Close drains outstanding prefetches. The iterator must not be used
-// afterwards. It never returns an error; the signature exists so callers
-// can defer it alongside reader closes.
+// Close drains outstanding prefetches and returns the iterator to the pool.
+// The iterator — including slices obtained from Key/Value — must not be used
+// afterwards. It never returns an error; the signature exists so callers can
+// defer it alongside reader closes. Close is idempotent.
 func (it *Iter) Close() {
+	if it.closed {
+		return
+	}
 	if it.inflight != nil {
 		<-it.inflight.ch // each fetch always sends exactly one result
 		it.inflight = nil
@@ -290,9 +326,16 @@ func (it *Iter) Close() {
 	for _, p := range it.stale {
 		<-p.ch
 	}
-	it.stale = nil
+	it.stale = it.stale[:0]
 	it.fetched = nil
-	it.bi = nil
+	it.fetchedLo = 0
+	it.bi.Release() // drop block references so pooling doesn't pin cached blocks
+	it.biSet = false
+	it.r = nil
+	it.err = nil
+	it.ra = 0
+	it.closed = true
+	iterPool.Put(it)
 }
 
 // scheduleReadahead keeps one span fetch in flight covering the ra blocks
@@ -347,6 +390,10 @@ func (it *Iter) takePrefetched(i int) ([]byte, error) {
 // small ones — then verified, decompressed, and (when a cache is attached)
 // inserted block by block. Exactly one result is always sent on ch.
 func (r *Reader) fetchSpan(lo, hi int, ch chan prefetchResult) {
+	// Span buffers are scratch: every decoded block is a fresh allocation
+	// (cache-shared or handed to the consumer), so the raw bytes recycle.
+	bp := physPool.Get().(*[]byte)
+	defer physPool.Put(bp)
 	plains := make([][]byte, hi-lo+1)
 	var cached [][]byte
 	if r.bcache != nil {
@@ -371,7 +418,13 @@ func (r *Reader) fetchSpan(lo, hi int, ch chan prefetchResult) {
 			ch <- prefetchResult{err: fmt.Errorf("%w: block span {%d,%d} out of range", ErrBadTable, start, end-start)}
 			return
 		}
-		raw := make([]byte, end-start)
+		raw := *bp
+		if cap(raw) < int(end-start) {
+			raw = make([]byte, end-start)
+			*bp = raw
+		} else {
+			raw = raw[:end-start]
+		}
 		if _, err := r.f.ReadAt(raw, start); err != nil && err != io.EOF {
 			ch <- prefetchResult{err: err}
 			return
@@ -398,14 +451,14 @@ func (r *Reader) fetchSpan(lo, hi int, ch chan prefetchResult) {
 }
 
 // Valid reports whether the iterator is on an entry.
-func (it *Iter) Valid() bool { return it.err == nil && it.bi != nil && it.bi.Valid() }
+func (it *Iter) Valid() bool { return it.err == nil && it.biSet && it.bi.Valid() }
 
 // Err returns the first error encountered.
 func (it *Iter) Err() error {
 	if it.err != nil {
 		return it.err
 	}
-	if it.bi != nil {
+	if it.biSet {
 		return it.bi.Err()
 	}
 	return nil
@@ -438,19 +491,24 @@ func (it *Iter) loadBlock(i int) bool {
 			return false
 		}
 		plain = p
+		if it.r.bcache == nil {
+			// Adopt the freshly decoded block as the scratch buffer: by the
+			// time the next direct read decodes over it, it is no longer
+			// referenced. Blocks served from a fetched span must NOT be
+			// adopted — the span still holds them and may serve them again
+			// after a backward Seek.
+			it.buf = plain
+		}
 	}
-	if it.r.bcache == nil {
-		// Adopt the block as the scratch buffer: by the time the next block
-		// loads, this one is no longer referenced.
-		it.buf = plain
-	}
-	bi, err := block.NewIter(plain, it.r.cmp)
-	if err != nil {
+	// Rebinding the embedded block iterator reuses its key scratch — moving
+	// across the blocks of a scan allocates nothing.
+	if err := it.bi.Reset(plain, it.r.cmp); err != nil {
 		it.err = err
+		it.biSet = false
 		return false
 	}
 	it.blockIdx = i
-	it.bi = bi
+	it.biSet = true
 	if it.r.onAccess != nil {
 		it.r.onAccess(it.r.entries[i].LastKey)
 	}
@@ -471,7 +529,7 @@ func (it *Iter) First() bool {
 
 // Next advances one entry, moving across block boundaries.
 func (it *Iter) Next() bool {
-	if it.err != nil || it.bi == nil {
+	if it.err != nil || !it.biSet {
 		return false
 	}
 	if it.bi.Next() {
@@ -516,7 +574,7 @@ func (it *Iter) Seek(target []byte) bool {
 		}
 	}
 	if lo == len(it.r.entries) {
-		it.bi = nil
+		it.biSet = false
 		return false
 	}
 	if !it.loadBlock(lo) {

@@ -112,6 +112,16 @@ type Options struct {
 	MemtableBytes int
 	TableBytes    int
 	BlockBytes    int
+	// MemtableShards partitions the memtable into independent arena-backed
+	// skiplists by user-key hash so commit groups apply with parallel shard
+	// writers. 0 selects the default of 4; 1 restores the single-skiplist
+	// layout. Contents, scan order and WAL bytes are identical at any
+	// setting. Values are clamped to [1, 64] and rounded up to a power of
+	// two.
+	MemtableShards int
+	// MemtableArenaBytes is the chunk size of each memtable shard's arena
+	// allocator (default 64 KiB, clamped to [4 KiB, 8 MiB]).
+	MemtableArenaBytes int
 	// Compression is "snappy" (default), "flate" or "none".
 	Compression string
 	// BloomBitsPerKey sizes per-table Bloom filters (0 = default 10 bits
@@ -220,6 +230,8 @@ func Open(opts Options) (*DB, error) {
 	inner, err := lsm.Open(lsm.Options{
 		FS:                  fs,
 		MemtableSize:        int64(opts.MemtableBytes),
+		MemtableShards:      opts.MemtableShards,
+		MemtableArenaChunk:  opts.MemtableArenaBytes,
 		TableSize:           int64(opts.TableBytes),
 		BlockSize:           opts.BlockBytes,
 		BloomBitsPerKey:     opts.BloomBitsPerKey,
