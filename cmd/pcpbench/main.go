@@ -13,6 +13,7 @@
 //	pcpbench -crashjson f.json # run the crash-consistency matrix, write the summary, exit
 //	pcpbench -readjson f.json  # write the read-under-compaction comparison as JSON and exit
 //	pcpbench -memjson f.json   # write the sharded-memtable/allocation comparison as JSON and exit
+//	pcpbench -pipejson f.json  # write the live-pipeline comparison (scp/pcp-fixed/pcp-adaptive) as JSON and exit
 //
 // Output is the same rows/series the paper plots, as aligned text tables.
 package main
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10, 11, 11b, 12, 12s, 12c, model, sched, write, read, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10, 11, 11b, 12, 12s, 12c, model, sched, write, read, mem, pipe, all")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	timeScale := flag.Float64("timescale", -1, "override simulated-device time scale (1.0 = faithful)")
 	schedJSON := flag.String("schedjson", "", "run the background-scheduler comparison and write it to this file as JSON")
@@ -35,6 +36,7 @@ func main() {
 	crashJSON := flag.String("crashjson", "", "run the crash-consistency matrix and write the summary to this file as JSON")
 	readJSON := flag.String("readjson", "", "run the read-under-compaction comparison and write it to this file as JSON")
 	memJSON := flag.String("memjson", "", "run the sharded-memtable/allocation comparison and write it to this file as JSON")
+	pipeJSON := flag.String("pipejson", "", "run the live-pipeline comparison (scp vs pcp-fixed vs pcp-adaptive) and write it to this file as JSON")
 	crashSeed := flag.Int64("crashseed", 1, "base seed for -crashjson cycles")
 	crashSeeds := flag.Int("crashseeds", 200, "number of seeded power-cut cycles for -crashjson")
 	flag.Parse()
@@ -107,6 +109,15 @@ func main() {
 		writeArtifact(*memJSON, cmp)
 		return
 	}
+	if *pipeJSON != "" {
+		cmp, err := harness.RunPipelineComparison(sc, sc.Fig12Entries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcpbench: pipeline comparison: %v\n", err)
+			os.Exit(1)
+		}
+		writeArtifact(*pipeJSON, cmp)
+		return
+	}
 	if *crashJSON != "" {
 		sum := harness.RunCrashMatrix(*crashSeed, *crashSeeds)
 		writeArtifact(*crashJSON, sum)
@@ -137,6 +148,7 @@ func main() {
 		"write": {{"write", harness.FigWrite}},
 		"read":  {{"read", harness.FigRead}},
 		"mem":   {{"mem", harness.FigMem}},
+		"pipe":  {{"pipe", harness.FigPipe}},
 	}
 	var runs []figure
 	if *fig == "all" {

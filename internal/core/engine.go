@@ -20,9 +20,13 @@ import (
 type Mode int
 
 const (
+	// ModeAuto, the zero value, resolves to the engine default: ModePCP.
+	// Pipelining is the paper's contribution, so a zero-valued Config
+	// pipelines; select ModeSCP explicitly for the sequential baseline.
+	ModeAuto Mode = iota
 	// ModeSCP is the Sequential Compaction Procedure: sub-tasks run one
 	// after another, each stepping S1…S7 in order.
-	ModeSCP Mode = iota
+	ModeSCP
 	// ModePCP is the Pipelined Compaction Procedure: three stages (read /
 	// compute / write) run concurrently over the sub-task stream. With
 	// ComputeParallel > 1 it is C-PPCP; with IOParallel > 1 it is S-PPCP.
@@ -38,6 +42,8 @@ const (
 // String names the mode, including the parallel variants.
 func (m Mode) String() string {
 	switch m {
+	case ModeAuto:
+		return "auto"
 	case ModeSCP:
 		return "scp"
 	case ModePCP:
@@ -112,9 +118,18 @@ type Config struct {
 	// cannot run them simultaneously, so C-PPCP scaling is observable on
 	// small hosts while every CPU-vs-I/O ratio is preserved. 0/1 = off.
 	CPUDilation int
+	// Governor, when set under ModePCP, is consulted between sub-tasks and
+	// may resize the stage worker sets mid-run: ComputeParallel and
+	// IOParallel become the starting widths rather than fixed ones. Ignored
+	// under the other modes (ModeDeepPCP keeps the paper's fixed five-stage
+	// shape; SCP has no stages to widen).
+	Governor PipelineGovernor
 }
 
 func (c Config) withDefaults() Config {
+	if c.Mode == ModeAuto {
+		c.Mode = ModePCP
+	}
 	if c.SubtaskSize == 0 {
 		c.SubtaskSize = 512 << 10
 	}
@@ -199,9 +214,13 @@ func Run(cfg Config, inputs []*TableSource, sink OutputSink) (*Result, error) {
 		EntriesOut:   e.entriesOut.Load(),
 	}
 	stats.EntriesDropped = stats.EntriesIn - stats.EntriesOut
+	stats.Mode = cfg.Mode
 	stats.StageBusy.Read = time.Duration(e.busyRead.Load())
 	stats.StageBusy.Compute = time.Duration(e.busyCompute.Load())
 	stats.StageBusy.Write = time.Duration(e.busyWrite.Load())
+	if e.pipe != nil {
+		stats.Pipeline = e.pipe.stats(stats.StageBusy)
+	}
 	return &Result{Outputs: e.outputs, Stats: stats}, nil
 }
 
@@ -218,6 +237,9 @@ type engine struct {
 
 	outMu   sync.Mutex
 	outputs []Output
+
+	// pipe is the live 3-stage pipeline state under ModePCP; nil otherwise.
+	pipe *pcpPipe
 
 	errOnce sync.Once
 	err     error
@@ -328,102 +350,6 @@ func (e *engine) runSequential(subtasks []Subtask) {
 	e.busyRead.Store(int64(e.clock.snapshot().ReadTime()))
 	e.busyCompute.Store(int64(e.clock.snapshot().ComputeTime()))
 	e.busyWrite.Store(int64(e.clock.snapshot().WriteTime()))
-}
-
-// runPipelined is PCP/PPCP: three stages over bounded queues.
-func (e *engine) runPipelined(subtasks []Subtask) {
-	qd := e.cfg.QueueDepth
-	subCh := make(chan *Subtask, qd)
-	compCh := make(chan *rawJob, qd)
-	writeCh := make(chan *writeJob, qd)
-
-	go func() {
-		defer close(subCh)
-		for i := range subtasks {
-			select {
-			case subCh <- &subtasks[i]:
-			case <-e.cancel:
-				return
-			}
-		}
-	}()
-
-	var readWg sync.WaitGroup
-	for w := 0; w < e.cfg.IOParallel; w++ {
-		readWg.Add(1)
-		go func() {
-			defer readWg.Done()
-			for st := range subCh {
-				if e.canceled() {
-					continue
-				}
-				begin := time.Now()
-				job, err := e.readSubtask(st)
-				e.busyRead.Add(int64(time.Since(begin)))
-				if err != nil {
-					e.fail(err)
-					continue
-				}
-				select {
-				case compCh <- job:
-				case <-e.cancel:
-				}
-			}
-		}()
-	}
-	go func() {
-		readWg.Wait()
-		close(compCh)
-	}()
-
-	var compWg sync.WaitGroup
-	for w := 0; w < e.cfg.ComputeParallel; w++ {
-		compWg.Add(1)
-		go func() {
-			defer compWg.Done()
-			var dil dilation
-			for job := range compCh {
-				if e.canceled() {
-					continue
-				}
-				begin := time.Now()
-				wj, err := e.computeSubtask(job, &dil)
-				e.busyCompute.Add(int64(time.Since(begin)))
-				if err != nil {
-					e.fail(err)
-					continue
-				}
-				select {
-				case writeCh <- wj:
-				case <-e.cancel:
-				}
-			}
-		}()
-	}
-	go func() {
-		compWg.Wait()
-		close(writeCh)
-	}()
-
-	var writeWg sync.WaitGroup
-	for w := 0; w < e.cfg.IOParallel; w++ {
-		writeWg.Add(1)
-		go func() {
-			defer writeWg.Done()
-			for wj := range writeCh {
-				if e.canceled() {
-					continue
-				}
-				begin := time.Now()
-				err := e.writeSubtask(wj)
-				e.busyWrite.Add(int64(time.Since(begin)))
-				if err != nil {
-					e.fail(err)
-				}
-			}
-		}()
-	}
-	writeWg.Wait()
 }
 
 // readSubtask performs S1: one contiguous physical read per span, sliced

@@ -147,6 +147,8 @@ func (b Breakdown) String() string {
 
 // Stats aggregates everything measured during one compaction.
 type Stats struct {
+	// Mode is the procedure that ran (after ModeAuto resolution).
+	Mode Mode
 	// Steps holds the per-step CPU/device time sums.
 	Steps StepTimes
 	// Wall is the end-to-end compaction duration.
@@ -156,6 +158,10 @@ type Stats struct {
 	StageBusy struct {
 		Read, Compute, Write time.Duration
 	}
+	// Pipeline reports the pipeline's shape and dynamics under ModePCP:
+	// worker counts, governor resizes, queue high-water marks, and per-stage
+	// idle time. Zero-valued under the other modes.
+	Pipeline PipelineStats
 	// Subtasks is the number of sub-tasks the key range was partitioned into.
 	Subtasks int
 	// InputTables/OutputTables count tables consumed and produced.

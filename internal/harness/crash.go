@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"pcplsm/internal/core"
 	"pcplsm/internal/lsm"
 	"pcplsm/internal/storage"
 )
@@ -34,6 +35,11 @@ type CrashConfig struct {
 	Writers int
 	// Serial uses the serial commit path instead of group commit.
 	Serial bool
+	// SCP compacts with the sequential baseline procedure. The default
+	// exercises the live pipeline: ModePCP with parallel stage workers and
+	// the adaptive governor, so a power cut can land mid-pipeline with
+	// multiple output writers in flight.
+	SCP bool
 	// MaxKeys is the per-writer keyspace size (default 16; small so batches
 	// overwrite and delete hot keys).
 	MaxKeys int
@@ -61,6 +67,7 @@ func (c CrashConfig) withDefaults() CrashConfig {
 type CrashCycleResult struct {
 	Seed        int64 `json:"seed"`
 	Serial      bool  `json:"serial"`
+	SCP         bool  `json:"scp"`
 	CutOps      int   `json:"cut_ops"`
 	AckedBatch  int   `json:"acked_batches"`
 	Inflight    int   `json:"inflight_batches"`
@@ -83,9 +90,11 @@ type crashBatch struct {
 }
 
 // crashGeometry returns DB options sized so a short workload exercises WAL
-// rotation, flushes, and compactions.
-func crashGeometry(fs storage.FS, serial bool) lsm.Options {
-	return lsm.Options{
+// rotation, flushes, and compactions. The PCP leg (scp=false) runs parallel
+// stage workers so the cut can tear a compaction with several output
+// writers mid-file.
+func crashGeometry(fs storage.FS, serial, scp bool) lsm.Options {
+	opts := lsm.Options{
 		FS:                  fs,
 		MemtableSize:        8 << 10,
 		TableSize:           8 << 10,
@@ -95,13 +104,23 @@ func crashGeometry(fs storage.FS, serial bool) lsm.Options {
 		DisableGroupCommit:  serial,
 		BackgroundRetry:     lsm.BackgroundRetryPolicy{Max: 2, BaseDelay: 200 * time.Microsecond},
 	}
+	if scp {
+		opts.Compaction.Mode = core.ModeSCP
+	} else {
+		opts.Compaction.Mode = core.ModePCP
+		opts.Compaction.ComputeParallel = 2
+		opts.Compaction.IOParallel = 2
+		opts.PipelineComputeTokens = 4
+		opts.PipelineIOTokens = 4
+	}
+	return opts
 }
 
 // RunCrashCycle executes one seeded power-cut/reopen cycle and verifies the
 // recovery contract, returning an error describing the first violation.
 func RunCrashCycle(cfg CrashConfig) (CrashCycleResult, error) {
 	cfg = cfg.withDefaults()
-	res := CrashCycleResult{Seed: cfg.Seed, Serial: cfg.Serial}
+	res := CrashCycleResult{Seed: cfg.Seed, Serial: cfg.Serial, SCP: cfg.SCP}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	cutOps := cfg.CutOps
 	if cutOps <= 0 {
@@ -111,7 +130,7 @@ func RunCrashCycle(cfg CrashConfig) (CrashCycleResult, error) {
 
 	inner := storage.NewMemFS()
 	ffs := storage.NewSeededFaultFS(inner, cfg.Seed)
-	db, err := lsm.Open(crashGeometry(ffs, cfg.Serial))
+	db, err := lsm.Open(crashGeometry(ffs, cfg.Serial, cfg.SCP))
 	if err != nil {
 		return res, fmt.Errorf("initial open: %w", err)
 	}
@@ -168,7 +187,7 @@ func RunCrashCycle(cfg CrashConfig) (CrashCycleResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("rendering crash image: %w", err)
 	}
-	db2, err := lsm.Open(crashGeometry(img, cfg.Serial))
+	db2, err := lsm.Open(crashGeometry(img, cfg.Serial, cfg.SCP))
 	if err != nil {
 		return res, fmt.Errorf("reopen after cut: %w", err)
 	}
@@ -183,8 +202,8 @@ func RunCrashCycle(cfg CrashConfig) (CrashCycleResult, error) {
 	checked, err := verifyCrashState(db2, logs)
 	res.KeysChecked = checked
 	if err != nil {
-		return res, fmt.Errorf("seed %d (serial=%v, cut at op %d): %w",
-			cfg.Seed, cfg.Serial, cutOps, err)
+		return res, fmt.Errorf("seed %d (serial=%v, scp=%v, cut at op %d): %w",
+			cfg.Seed, cfg.Serial, cfg.SCP, cutOps, err)
 	}
 	return res, nil
 }
@@ -330,13 +349,14 @@ type CrashSummary struct {
 	BaseSeed     int64    `json:"base_seed"`
 }
 
-// RunCrashMatrix runs n seeded cycles starting at baseSeed, alternating the
-// commit mode (even seeds grouped, odd serial), and aggregates the outcome.
+// RunCrashMatrix runs n seeded cycles starting at baseSeed, cycling through
+// the commit-mode × compaction-procedure matrix (grouped/serial commits ×
+// parallel-PCP/SCP compactions), and aggregates the outcome.
 func RunCrashMatrix(baseSeed int64, n int) CrashSummary {
 	sum := CrashSummary{BaseSeed: baseSeed}
 	for i := 0; i < n; i++ {
 		seed := baseSeed + int64(i)
-		res, err := RunCrashCycle(CrashConfig{Seed: seed, Serial: i%2 == 1})
+		res, err := RunCrashCycle(CrashConfig{Seed: seed, Serial: i%2 == 1, SCP: i%4 >= 2})
 		sum.Cycles++
 		sum.AckedBatches += res.AckedBatch
 		sum.KeysChecked += res.KeysChecked

@@ -20,9 +20,10 @@ func crashSeedBase(t *testing.T) int64 {
 }
 
 // TestCrashCycles is the acceptance gate: many seeded power-cut/reopen
-// cycles, both commit modes, zero lost acknowledged writes and zero torn
-// batches. Cycles are sharded into parallel subtests so -race runs stay
-// within test timeouts.
+// cycles across the commit-mode × compaction-procedure matrix (grouped and
+// serial commits, parallel-PCP and SCP compactions), zero lost acknowledged
+// writes and zero torn batches. Cycles are sharded into parallel subtests
+// so -race runs stay within test timeouts.
 func TestCrashCycles(t *testing.T) {
 	cycles := 200
 	if testing.Short() {
@@ -40,7 +41,11 @@ func TestCrashCycles(t *testing.T) {
 			t.Parallel()
 			for i := 0; i < n; i++ {
 				seed := base + int64(lo+i)
-				res, err := RunCrashCycle(CrashConfig{Seed: seed, Serial: (lo+i)%2 == 1})
+				res, err := RunCrashCycle(CrashConfig{
+					Seed:   seed,
+					Serial: (lo+i)%2 == 1,
+					SCP:    (lo+i)%4 >= 2,
+				})
 				if err != nil {
 					t.Errorf("cycle failed: %v", err)
 					continue

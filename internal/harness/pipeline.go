@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pcplsm/internal/core"
+	"pcplsm/internal/lsm"
+	"pcplsm/internal/workload"
+)
+
+// Pipeline-governor experiment: the same mixed flush+compaction load driven
+// through three live-compaction configurations —
+//
+//   - scp:          the sequential baseline procedure, no governor;
+//   - pcp-fixed:    ModePCP at fixed configured widths (the paper's C-PPCP
+//                   posture), governor disabled;
+//   - pcp-adaptive: ModePCP starting at baseline widths with the adaptive
+//                   pilot growing/shrinking stage workers inside a shared
+//                   token budget (the live default).
+//
+// Reported per variant: insert throughput, compaction bandwidth, write
+// stalls, governor decision counters, and the pipeline observability gauges
+// (token pools, stage busy/idle attribution). The recorded artifact is
+// BENCH_PR8.json.
+
+// PipelineConfig describes one variant run.
+type PipelineConfig struct {
+	Device    string
+	TimeScale float64
+	Entries   int
+	Variant   string
+	Engine    core.Config
+	// ComputeTokens/IOTokens size the governor pools; ComputeTokens < 0
+	// disables the governor (fixed widths, no leasing).
+	ComputeTokens int
+	IOTokens      int
+	// DisableAdaptive keeps leased widths fixed (token accounting only).
+	DisableAdaptive bool
+}
+
+// PipelineResult records one variant's metrics.
+type PipelineResult struct {
+	Variant              string  `json:"variant"`
+	Entries              int     `json:"entries"`
+	ElapsedSeconds       float64 `json:"elapsed_seconds"`
+	InsertsPerSec        float64 `json:"inserts_per_sec"`
+	CompactionBandwidth  float64 `json:"compaction_bandwidth_bytes_per_sec"`
+	StallCount           int64   `json:"stall_count"`
+	StallSeconds         float64 `json:"stall_seconds"`
+	Flushes              int64   `json:"flushes"`
+	Compactions          int64   `json:"compactions"`
+	PipelinedCompactions int64   `json:"pipelined_compactions"`
+	GovernorGrows        int64   `json:"governor_grows"`
+	GovernorShrinks      int64   `json:"governor_shrinks"`
+	GovernorDenials      int64   `json:"governor_denials"`
+	// Gauges is the pipeline/governor slice of the DB's metrics registry at
+	// the end of the run (token pools, stage busy/idle ns, queue high-water).
+	Gauges map[string]int64 `json:"gauges"`
+}
+
+// RunPipelineVariant loads the mixed workload into a fresh store under one
+// compaction configuration and drains all background work.
+func RunPipelineVariant(cfg PipelineConfig) (PipelineResult, error) {
+	env, err := newSimEnv(cfg.Device, 1, false, cfg.TimeScale)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	engine := cfg.Engine
+	if engine.SubtaskSize == 0 {
+		engine.SubtaskSize = 64 << 10
+	}
+	// The RunSched geometry: flushes every ~128 KiB keep multi-level
+	// compactions continuously in flight, so the procedure under test is on
+	// the critical path of the insert stream.
+	db, err := lsm.Open(lsm.Options{
+		FS:                        env.fs,
+		MemtableSize:              128 << 10,
+		TableSize:                 128 << 10,
+		BlockSize:                 defaultBlockSize,
+		BaseLevelSize:             512 << 10,
+		LevelMultiplier:           4,
+		L0CompactionTrigger:       4,
+		L0StallTrigger:            8,
+		Compaction:                engine,
+		BackgroundWorkers:         2,
+		PipelineComputeTokens:     cfg.ComputeTokens,
+		PipelineIOTokens:          cfg.IOTokens,
+		DisableAdaptiveCompaction: cfg.DisableAdaptive,
+	})
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	defer db.Close()
+
+	gen := workload.New(workload.Config{
+		Entries:   cfg.Entries,
+		KeySize:   defaultKeySize,
+		ValueSize: defaultValueSize,
+		KeySpace:  4 * cfg.Entries,
+		Seed:      1,
+	})
+	start := time.Now()
+	for {
+		k, v, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := db.Put(k, v); err != nil {
+			return PipelineResult{}, err
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		return PipelineResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	st := db.Stats()
+	gauges := map[string]int64{}
+	for name, v := range db.Metrics().Snapshot() {
+		if strings.HasPrefix(name, "lsm_pipeline_") ||
+			strings.HasPrefix(name, "lsm_governor_") ||
+			strings.HasPrefix(name, "lsm_compactions_pipelined") ||
+			strings.HasPrefix(name, "lsm_compaction_stage_") ||
+			strings.HasPrefix(name, "lsm_compaction_queue_") {
+			gauges[name] = v
+		}
+	}
+	return PipelineResult{
+		Variant:              cfg.Variant,
+		Entries:              cfg.Entries,
+		ElapsedSeconds:       elapsed.Seconds(),
+		InsertsPerSec:        float64(cfg.Entries) / elapsed.Seconds(),
+		CompactionBandwidth:  st.CompactionBandwidth(),
+		StallCount:           st.StallCount,
+		StallSeconds:         st.StallTime.Seconds(),
+		Flushes:              st.Flushes,
+		Compactions:          st.Compactions,
+		PipelinedCompactions: st.PipelinedCompactions,
+		GovernorGrows:        st.GovernorGrows,
+		GovernorShrinks:      st.GovernorShrinks,
+		GovernorDenials:      st.GovernorDenials,
+		Gauges:               gauges,
+	}, nil
+}
+
+// pipelineVariants builds the three configurations at a given scale.
+func pipelineVariants(sc Scale, dev string, entries int) []PipelineConfig {
+	base := PipelineConfig{Device: dev, TimeScale: sc.TimeScale, Entries: entries}
+	scp := base
+	scp.Variant = "scp"
+	scp.Engine = sc.engine(core.Config{Mode: core.ModeSCP})
+	scp.ComputeTokens = -1
+
+	fixed := base
+	fixed.Variant = "pcp-fixed"
+	fixed.Engine = sc.engine(core.Config{Mode: core.ModePCP, ComputeParallel: 3, IOParallel: 2})
+	fixed.ComputeTokens = -1
+
+	adaptive := base
+	adaptive.Variant = "pcp-adaptive"
+	adaptive.Engine = sc.engine(core.Config{Mode: core.ModePCP})
+	// Pools emulate the dilated testbed's cores: the pilot may grow each
+	// compaction's pipeline up to the shared budget.
+	adaptive.ComputeTokens = 3
+	adaptive.IOTokens = 4
+	return []PipelineConfig{scp, fixed, adaptive}
+}
+
+// PipelineDeviceComparison is one device's three-variant comparison.
+type PipelineDeviceComparison struct {
+	Device   string         `json:"device"`
+	SCP      PipelineResult `json:"scp"`
+	Fixed    PipelineResult `json:"pcp_fixed"`
+	Adaptive PipelineResult `json:"pcp_adaptive"`
+	// AdaptiveBandwidthGain is adaptive/scp compaction bandwidth − 1.
+	AdaptiveBandwidthGain float64 `json:"adaptive_bandwidth_gain"`
+	// AdaptiveStallReduction is 1 − adaptive/scp stall seconds (0 when the
+	// SCP run never stalled).
+	AdaptiveStallReduction float64 `json:"adaptive_stall_reduction"`
+}
+
+// PipelineComparison is the recorded artifact (BENCH_PR8.json).
+type PipelineComparison struct {
+	Experiment string                     `json:"experiment"`
+	TimeScale  float64                    `json:"time_scale"`
+	Devices    []PipelineDeviceComparison `json:"devices"`
+}
+
+// RunPipelineComparison runs the scp / pcp-fixed / pcp-adaptive matrix on
+// simulated HDD and SSD.
+func RunPipelineComparison(sc Scale, entries int) (PipelineComparison, error) {
+	cmp := PipelineComparison{
+		Experiment: "live compaction procedure: SCP vs fixed-width PCP vs adaptive PCP under the pipeline governor",
+		TimeScale:  sc.TimeScale,
+	}
+	for _, dev := range []string{"hdd", "ssd"} {
+		dc := PipelineDeviceComparison{Device: dev}
+		var err error
+		for _, cfg := range pipelineVariants(sc, dev, entries) {
+			var res PipelineResult
+			if res, err = RunPipelineVariant(cfg); err != nil {
+				return cmp, fmt.Errorf("%s/%s: %w", dev, cfg.Variant, err)
+			}
+			switch cfg.Variant {
+			case "scp":
+				dc.SCP = res
+			case "pcp-fixed":
+				dc.Fixed = res
+			case "pcp-adaptive":
+				dc.Adaptive = res
+			}
+		}
+		if dc.SCP.CompactionBandwidth > 0 {
+			dc.AdaptiveBandwidthGain = dc.Adaptive.CompactionBandwidth/dc.SCP.CompactionBandwidth - 1
+		}
+		if dc.SCP.StallSeconds > 0 {
+			dc.AdaptiveStallReduction = 1 - dc.Adaptive.StallSeconds/dc.SCP.StallSeconds
+		}
+		cmp.Devices = append(cmp.Devices, dc)
+	}
+	return cmp, nil
+}
+
+// FigPipe renders the live-pipeline comparison as a pcpbench table.
+func FigPipe(sc Scale) (*Table, error) {
+	cmp, err := RunPipelineComparison(sc, sc.Fig12Entries)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "live compaction: scp vs pcp-fixed vs pcp-adaptive (pipeline governor)",
+		Columns: []string{"device", "variant", "inserts/s", "cbw MiB/s", "stalls", "stall_s", "grows", "shrinks", "denials"},
+	}
+	for _, dc := range cmp.Devices {
+		for _, r := range []PipelineResult{dc.SCP, dc.Fixed, dc.Adaptive} {
+			t.AddRow(
+				dc.Device,
+				r.Variant,
+				fmt.Sprintf("%.0f", r.InsertsPerSec),
+				fmt.Sprintf("%.1f", r.CompactionBandwidth/(1<<20)),
+				fmt.Sprintf("%d", r.StallCount),
+				fmt.Sprintf("%.3f", r.StallSeconds),
+				fmt.Sprintf("%d", r.GovernorGrows),
+				fmt.Sprintf("%d", r.GovernorShrinks),
+				fmt.Sprintf("%d", r.GovernorDenials),
+			)
+		}
+		t.Note("%s: adaptive vs scp bandwidth %+.0f%%, stall time %+.0f%%",
+			dc.Device, dc.AdaptiveBandwidthGain*100, -dc.AdaptiveStallReduction*100)
+	}
+	return t, nil
+}

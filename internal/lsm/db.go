@@ -45,6 +45,10 @@ type DB struct {
 	man    *manifest
 	stats  statsCollector
 
+	// governor is the engine-wide pipeline token-pool pair (see
+	// governor.go); nil when Options.PipelineComputeTokens < 0.
+	governor *pipelineGovernor
+
 	// installMu serializes version-edit application with the matching
 	// manifest append, so the journal replays in the same order the
 	// versions were installed even with concurrent installers.
@@ -166,6 +170,10 @@ func Open(opts Options) (*DB, error) {
 		db.gCompactionsByLevel[l] = reg.Gauge(fmt.Sprintf("lsm_compactions_inflight_l%d", l))
 	}
 	db.gClaimedBytes = reg.Gauge("lsm_claimed_bytes")
+	if opts.PipelineComputeTokens > 0 {
+		db.governor = newPipelineGovernor(opts.PipelineComputeTokens,
+			max(1, opts.PipelineIOTokens), reg)
+	}
 
 	if err := db.recover(); err != nil {
 		return nil, err
@@ -615,6 +623,13 @@ func (db *DB) Stats() Stats {
 		s.BlockCacheBytes = db.bcache.Size()
 		s.BlockCacheCapacity = db.bcache.Capacity()
 	}
+	if db.governor != nil {
+		ct, it2, cl, il := db.governor.snapshot()
+		s.PipelineComputeTokens = int64(ct)
+		s.PipelineIOTokens = int64(it2)
+		s.PipelineComputeLeased = int64(cl)
+		s.PipelineIOLeased = int64(il)
+	}
 	return s
 }
 
@@ -657,6 +672,22 @@ func (db *DB) Metrics() *metrics.Registry {
 	db.reg.Gauge("lsm_memtable_arena_used_bytes").Set(s.MemtableArenaUsed)
 	db.reg.Gauge("lsm_apply_shard_runs").Set(s.ApplyShardRuns)
 	db.reg.Gauge("lsm_parallel_applies").Set(s.ParallelApplies)
+	// Pipeline & governor observability. The token pool gauges
+	// (lsm_pipeline_{compute,io}_{tokens,leased}) are maintained live by the
+	// governor itself; the decision counters and stage-time attribution are
+	// synced here from the stats snapshot.
+	db.reg.Gauge("lsm_compactions_pipelined").Set(s.PipelinedCompactions)
+	db.reg.Gauge("lsm_governor_grows").Set(s.GovernorGrows)
+	db.reg.Gauge("lsm_governor_shrinks").Set(s.GovernorShrinks)
+	db.reg.Gauge("lsm_governor_denials").Set(s.GovernorDenials)
+	db.reg.Gauge("lsm_compaction_stage_busy_read_ns").Set(int64(s.CompactionStageBusy.Read))
+	db.reg.Gauge("lsm_compaction_stage_busy_compute_ns").Set(int64(s.CompactionStageBusy.Compute))
+	db.reg.Gauge("lsm_compaction_stage_busy_write_ns").Set(int64(s.CompactionStageBusy.Write))
+	db.reg.Gauge("lsm_compaction_stage_idle_read_ns").Set(int64(s.CompactionStageIdle.Read))
+	db.reg.Gauge("lsm_compaction_stage_idle_compute_ns").Set(int64(s.CompactionStageIdle.Compute))
+	db.reg.Gauge("lsm_compaction_stage_idle_write_ns").Set(int64(s.CompactionStageIdle.Write))
+	db.reg.Gauge("lsm_compaction_queue_hw_compute").Set(int64(s.LastCompaction.Pipeline.ComputeQueueHighWater))
+	db.reg.Gauge("lsm_compaction_queue_hw_write").Set(int64(s.LastCompaction.Pipeline.WriteQueueHighWater))
 	return db.reg
 }
 
@@ -916,8 +947,11 @@ func keyRange(tables []*TableMeta) (smallest, largest []byte) {
 }
 
 // runCompaction executes a picked compaction with the configured procedure
-// and installs the result.
-func (db *DB) runCompaction(pc *pickedCompaction) error {
+// and installs the result. The claim's pipeline lease (when present)
+// overrides the configured stage widths with the granted budget and, unless
+// adaptive resizing is disabled, attaches the pilot that resizes the
+// pipeline mid-run within that budget.
+func (db *DB) runCompaction(pc *pickedCompaction, claim *compactionClaim) error {
 	all := append(append([]*TableMeta(nil), pc.inputs...), pc.overlap...)
 	sources := make([]*core.TableSource, 0, len(all))
 	handles := make([]tableHandle, 0, len(all))
@@ -936,6 +970,12 @@ func (db *DB) runCompaction(pc *pickedCompaction) error {
 	}
 
 	cfg := db.opts.Compaction
+	if claim != nil && claim.lease != nil {
+		cfg.ComputeParallel, cfg.IOParallel = claim.lease.widths()
+		if !db.opts.DisableAdaptiveCompaction {
+			cfg.Governor = &adaptivePilot{lease: claim.lease, stats: &db.stats}
+		}
+	}
 	db.mu.Lock()
 	cfg.RetainSeq = db.smallestSnapshot()
 	db.mu.Unlock()
@@ -1098,7 +1138,7 @@ func (db *DB) CompactLevel(level int) error {
 		return werr
 	}
 
-	err := db.runCompaction(pc)
+	err := db.runCompaction(pc, claim)
 	db.mu.Lock()
 	db.releaseCompaction(claim)
 	db.mu.Unlock()
@@ -1142,7 +1182,7 @@ func (db *DB) CompactRange(begin, end []byte) error {
 			continue
 		}
 
-		err := db.runCompaction(pc)
+		err := db.runCompaction(pc, claim)
 		db.mu.Lock()
 		db.releaseCompaction(claim)
 		db.mu.Unlock()

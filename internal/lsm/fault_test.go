@@ -178,6 +178,77 @@ func TestTransientCompactionErrorRetries(t *testing.T) {
 	}
 }
 
+// TestTransientPCPStageFaultRetries: a transient failure injected into a
+// parallel PCP write-stage worker surfaces exactly once through the
+// pipeline's error path, the scheduler retries under BackgroundRetry, and
+// the failed attempt leaks neither pending outputs nor leased pipeline
+// tokens.
+func TestTransientPCPStageFaultRetries(t *testing.T) {
+	inner := storage.NewMemFS()
+	fault := storage.NewFaultFS(inner)
+	opts := smallOpts(fault)
+	opts.L0CompactionTrigger = 2
+	opts.BackgroundRetry = fastRetry()
+	opts.Compaction.ComputeParallel = 2
+	opts.Compaction.IOParallel = 2
+	opts.PipelineComputeTokens = 8
+	opts.PipelineIOTokens = 8
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	put := func(lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("pk%05d", i)), make([]byte, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	put(0, 300)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(300, 600)
+	// The next .sst create is the second flush's table; the one after is a
+	// compaction output created by one of the two PCP write workers. It
+	// fails once, non-sticky.
+	fault.ArmFault(storage.Fault{Op: storage.FaultCreate, Suffix: ".sst", N: 2})
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatalf("PCP compaction with transient stage fault never drained: %v", err)
+	}
+
+	s := db.Stats()
+	if s.BackgroundRetries < 1 {
+		t.Fatalf("BackgroundRetries = %d, want >= 1", s.BackgroundRetries)
+	}
+	if s.Compactions < 1 || s.PipelinedCompactions < 1 {
+		t.Fatalf("Compactions = %d, PipelinedCompactions = %d, want both >= 1",
+			s.Compactions, s.PipelinedCompactions)
+	}
+	if s.BackgroundErrors != 0 {
+		t.Fatalf("BackgroundErrors = %d after a recovered transient fault", s.BackgroundErrors)
+	}
+	if s.PipelineComputeLeased != 0 || s.PipelineIOLeased != 0 {
+		t.Fatalf("leaked pipeline tokens: leased = %d/%d after WaitIdle",
+			s.PipelineComputeLeased, s.PipelineIOLeased)
+	}
+	db.mu.Lock()
+	pending := len(db.pendingOutputs)
+	db.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d pending outputs leaked across the failed pipeline attempt", pending)
+	}
+	if err := db.Put([]byte("resume"), []byte("v")); err != nil {
+		t.Fatalf("write after retried PCP compaction: %v", err)
+	}
+	if _, err := db.Get([]byte("pk00042")); err != nil {
+		t.Fatalf("read after retried PCP compaction: %v", err)
+	}
+}
+
 // TestRetryBudgetExhaustionTurnsSticky: a persistent transient fault
 // escalates after Options.BackgroundRetry.Max consecutive failures, leaving
 // the store read-only with ErrBackgroundError.

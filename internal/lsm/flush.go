@@ -32,6 +32,14 @@ type flushBlock struct {
 // pipeline: a builder goroutine forms, compresses and checksums blocks
 // while this goroutine appends them to the file.
 func (db *DB) writeLevel0TablePipelined(mem *memtable.Memtable) (*TableMeta, error) {
+	// The flush pipeline is one builder + one writer — exactly the governor
+	// baseline, so the lease always grants immediately. Taking it anyway
+	// keeps the leased-token gauges honest: a flush's stage workers draw
+	// from the same budget the compactions share.
+	if db.governor != nil {
+		lease := db.governor.acquire(1, 1)
+		defer lease.release()
+	}
 	num := db.vs.NewFileNum()
 	name := TableFileName(num)
 	raw, err := db.fs.Create(name)

@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"runtime"
 	"time"
 
 	"pcplsm/internal/compress"
@@ -57,8 +58,32 @@ type Options struct {
 
 	// Compaction configures the procedure (mode, sub-task size, queue depth,
 	// compute/IO parallelism). Block/table/codec fields inside it are
-	// overridden by the DB-level settings above.
+	// overridden by the DB-level settings above. The zero-valued Mode
+	// (core.ModeAuto) resolves to core.ModePCP: live compactions pipeline by
+	// default; set core.ModeSCP explicitly for the sequential baseline.
+	// QueueDepth is clamped to [1, 32], ComputeParallel and IOParallel to
+	// [1, 16] (zero values keep core's defaults). SubtaskSize < 0 is the
+	// single-sub-task escape hatch: it disables partitioning so the whole
+	// compaction is one sub-task — pipelining then degenerates to SCP order,
+	// useful to isolate partitioning effects in experiments.
 	Compaction core.Config
+
+	// PipelineComputeTokens sizes the engine-wide compute-token pool shared
+	// by every pipelined compaction and flush: at most this many
+	// compute-stage workers run beyond the per-unit baseline of one, so
+	// BackgroundWorkers × ComputeParallel cannot oversubscribe the host.
+	// 0 selects max(1, GOMAXPROCS−1) — one CPU of foreground headroom. A
+	// negative value disables the governor entirely: compaction configs pass
+	// through fixed, with no leasing and no adaptive resizing.
+	PipelineComputeTokens int
+	// PipelineIOTokens sizes the matching I/O-token pool (one token per
+	// unit of IOParallel — a read+write worker pair). 0 selects 4.
+	PipelineIOTokens int
+	// DisableAdaptiveCompaction keeps each pipelined compaction's leased
+	// worker widths fixed for its whole run instead of letting the adaptive
+	// pilot resize the pipeline between sub-tasks from the measured stage
+	// balance. The token accounting still applies.
+	DisableAdaptiveCompaction bool
 
 	// L0CompactionTrigger is the L0 table count that schedules a compaction
 	// (default 4).
@@ -239,7 +264,35 @@ func (o Options) withDefaults() Options {
 	o.Compaction.Codec = o.Codec
 	o.Compaction.TableSize = o.TableSize
 	o.Compaction.BloomBitsPerKey = o.BloomBitsPerKey
+	// Resolve the procedure and clamp the pipeline knobs to sane ranges.
+	// SubtaskSize passes through: 0 selects core's 512 KiB default and
+	// negative values are the documented single-sub-task escape hatch.
+	if o.Compaction.Mode == core.ModeAuto {
+		o.Compaction.Mode = core.ModePCP
+	}
+	o.Compaction.QueueDepth = clampInt(o.Compaction.QueueDepth, 0, 32)
+	o.Compaction.ComputeParallel = clampInt(o.Compaction.ComputeParallel, 0, 16)
+	o.Compaction.IOParallel = clampInt(o.Compaction.IOParallel, 0, 16)
+	if o.PipelineComputeTokens == 0 {
+		o.PipelineComputeTokens = max(1, runtime.GOMAXPROCS(0)-1)
+	}
+	if o.PipelineIOTokens == 0 {
+		o.PipelineIOTokens = 4
+	}
 	return o
+}
+
+// clampInt bounds v to [lo, hi]. Zero and negative values map to lo, so a
+// zero keeps the downstream default and a negative misconfiguration cannot
+// smuggle through (core treats <= 0 as "use the default").
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // maxLevelSize returns the size threshold of a level (level >= 1).

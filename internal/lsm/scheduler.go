@@ -27,13 +27,22 @@ package lsm
 // installMu so the journal order always matches the in-memory version
 // order, even with concurrent installers.
 
-import "time"
+import (
+	"time"
+
+	"pcplsm/internal/core"
+)
 
 // compactionClaim records one in-flight compaction's reservations.
 type compactionClaim struct {
 	level int      // source level; the claim covers levels level and level+1
 	files []uint64 // claimed input + overlap table numbers
 	bytes int64    // total size of the claimed tables
+	// lease is the compaction's slice of the pipeline governor's token
+	// pools, granted with the claim and released with it. Nil when the
+	// governor is disabled or the procedure is not ModePCP: the compaction
+	// then runs with its fixed configured widths.
+	lease *pipelineLease
 }
 
 // levelPairFree reports whether no in-flight compaction claims level or
@@ -64,6 +73,14 @@ func (db *DB) tryClaimCompaction(pc *pickedCompaction) *compactionClaim {
 	db.compactionsInFlight++
 	db.stats.beginCompaction(pc.level, c.bytes)
 	db.gaugeCompactions(pc.level, +1, c.bytes)
+	if db.governor != nil && db.opts.Compaction.Mode == core.ModePCP {
+		// Hand the claim a stage-worker budget: the baseline 1+1 is always
+		// granted (the governor's leaf mutex is safe under db.mu), extras
+		// only while the shared pools have headroom.
+		c.lease = db.governor.acquire(
+			max(1, db.opts.Compaction.ComputeParallel),
+			max(1, db.opts.Compaction.IOParallel))
+	}
 	return c
 }
 
@@ -71,6 +88,9 @@ func (db *DB) tryClaimCompaction(pc *pickedCompaction) *compactionClaim {
 // scheduler (stalled writers, WaitIdle, conflicting manual compactions).
 // Called with db.mu held.
 func (db *DB) releaseCompaction(c *compactionClaim) {
+	if c.lease != nil {
+		c.lease.release()
+	}
 	db.claimedLevels[c.level] = false
 	db.claimedLevels[c.level+1] = false
 	for _, num := range c.files {
@@ -223,7 +243,7 @@ func (db *DB) backgroundStep() (bool, error) {
 	}
 	db.mu.Unlock()
 	db.nudge() // more disjoint work may be runnable in parallel
-	err := db.runCompaction(pc)
+	err := db.runCompaction(pc, claim)
 	db.mu.Lock()
 	db.releaseCompaction(claim)
 	db.mu.Unlock()

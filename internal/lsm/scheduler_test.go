@@ -501,3 +501,104 @@ func TestSchedulerStressRandom(t *testing.T) {
 	defer db.Close()
 	verify()
 }
+
+// TestAdaptivePCPStress runs two disjoint-level adaptive PCP compactions
+// concurrently with point readers and an in-flight memtable flush (run it
+// under -race): the resizable pipelines, the shared token pools and the
+// adaptive pilots must tolerate concurrent background work without races,
+// token leaks or lost data.
+func TestAdaptivePCPStress(t *testing.T) {
+	opts := smallOpts(storage.NewMemFS())
+	opts.BackgroundWorkers = 3
+	opts.DisableAutoCompaction = true
+	opts.Compaction.ComputeParallel = 3
+	opts.Compaction.IOParallel = 2
+	opts.PipelineComputeTokens = 4
+	opts.PipelineIOTokens = 4
+	db := mustOpen(t, opts)
+	defer db.Close()
+	rng := rand.New(rand.NewSource(46))
+
+	// Set A down to L3, then set B (same keys, newer versions) to L1 — the
+	// L1→L2 and L3→L4 compactions then claim disjoint level pairs and their
+	// leases contend for the same token pools.
+	fillLevel1(t, db, rng, "key", 600)
+	drainLevel(t, db, 1)
+	drainLevel(t, db, 2)
+	fillLevel1(t, db, rng, "key", 600)
+	if len(db.Version().Levels[1]) == 0 || len(db.Version().Levels[3]) == 0 {
+		t.Fatal("setup: need tables at both L1 and L3")
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("key%06d", rng.Intn(600))
+				if _, err := db.Get([]byte(k)); err != nil {
+					t.Errorf("reader: Get(%s): %v", k, err)
+					return
+				}
+			}
+		}(int64(60 + r))
+	}
+
+	var work sync.WaitGroup
+	errs := make(chan error, 3)
+	work.Add(3)
+	go func() { defer work.Done(); errs <- db.CompactLevel(1) }()
+	go func() { defer work.Done(); errs <- db.CompactLevel(3) }()
+	go func() {
+		// A memtable flush in flight alongside both compactions.
+		defer work.Done()
+		for i := 0; i < 400; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("flush%05d", i)), []byte("v")); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- db.Flush()
+	}()
+	work.Wait()
+	close(stop)
+	readers.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := db.Version().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.PipelinedCompactions < 2 {
+		t.Fatalf("PipelinedCompactions = %d, want >= 2", s.PipelinedCompactions)
+	}
+	if s.PipelineComputeLeased != 0 || s.PipelineIOLeased != 0 {
+		t.Fatalf("leaked pipeline tokens: leased = %d/%d after all work drained",
+			s.PipelineComputeLeased, s.PipelineIOLeased)
+	}
+	for _, i := range []int{0, 123, 599} {
+		k := fmt.Sprintf("key%06d", i)
+		if _, err := db.Get([]byte(k)); err != nil {
+			t.Fatalf("Get(%s): %v", k, err)
+		}
+	}
+	for _, i := range []int{0, 399} {
+		k := fmt.Sprintf("flush%05d", i)
+		if got, err := db.Get([]byte(k)); err != nil || string(got) != "v" {
+			t.Fatalf("Get(%s) = %q, %v", k, got, err)
+		}
+	}
+}

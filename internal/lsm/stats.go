@@ -46,6 +46,17 @@ type Stats struct {
 	// CompactionSteps sums the per-step times across all compactions —
 	// the data behind the paper's breakdown figures.
 	CompactionSteps core.StepTimes
+	// PipelinedCompactions counts the compactions that ran under ModePCP
+	// (Compactions − PipelinedCompactions ran sequentially).
+	PipelinedCompactions int64
+	// CompactionStageBusy/StageIdle attribute cumulative compaction time to
+	// the pipeline stages: busy is time a stage worker spent working, idle
+	// is worker lifetime spent waiting on the inter-stage queues (zero for
+	// SCP, which has no waiting workers). A stall investigation reads these
+	// as "which stage was the choke": the bottleneck stage is busy while
+	// the others idle.
+	CompactionStageBusy core.Breakdown
+	CompactionStageIdle core.Breakdown
 
 	// StallCount/StallTime measure write pauses (full memtable backlog or
 	// too many L0 tables).
@@ -91,8 +102,24 @@ type Stats struct {
 	BackgroundErrors    int64
 	CorruptionsDetected int64
 
-	// LastCompaction holds the most recent compaction's full statistics.
+	// LastCompaction holds the most recent compaction's full statistics
+	// (including its Pipeline block: worker counts, resizes, queue
+	// high-water marks).
 	LastCompaction core.Stats
+
+	// Pipeline-governor counters and pool gauges. The token totals/leases
+	// are zero when the governor is disabled (PipelineComputeTokens < 0).
+	// GovernorGrows/Shrinks count adaptive-pilot resizes applied across all
+	// compactions; GovernorDenials counts grow attempts the shared pools
+	// rejected — sustained denials mean concurrent background work is
+	// contending for the same tokens.
+	PipelineComputeTokens int64
+	PipelineIOTokens      int64
+	PipelineComputeLeased int64
+	PipelineIOLeased      int64
+	GovernorGrows         int64
+	GovernorShrinks       int64
+	GovernorDenials       int64
 
 	// Scheduler gauges: a snapshot of the concurrent background work in
 	// flight at the instant Stats() was called.
@@ -157,6 +184,10 @@ type statsCollector struct {
 	bgErrors    atomic.Int64
 	corruptions atomic.Int64
 
+	governorGrows   atomic.Int64
+	governorShrinks atomic.Int64
+	governorDenials atomic.Int64
+
 	mu sync.Mutex
 	s  Stats
 }
@@ -176,6 +207,10 @@ func (c *statsCollector) addFilterSkip() { c.filterSkips.Add(1) }
 func (c *statsCollector) addBackgroundRetry() { c.bgRetries.Add(1) }
 func (c *statsCollector) addBackgroundError() { c.bgErrors.Add(1) }
 func (c *statsCollector) addCorruption()      { c.corruptions.Add(1) }
+
+func (c *statsCollector) addGovernorGrow()   { c.governorGrows.Add(1) }
+func (c *statsCollector) addGovernorShrink() { c.governorShrinks.Add(1) }
+func (c *statsCollector) addGovernorDenial() { c.governorDenials.Add(1) }
 
 // addCommit records one committed group of groupSize writers, synced with
 // one fsync when synced is set.
@@ -259,6 +294,9 @@ func (c *statsCollector) snapshot() Stats {
 	s.BackgroundRetries = c.bgRetries.Load()
 	s.BackgroundErrors = c.bgErrors.Load()
 	s.CorruptionsDetected = c.corruptions.Load()
+	s.GovernorGrows = c.governorGrows.Load()
+	s.GovernorShrinks = c.governorShrinks.Load()
+	s.GovernorDenials = c.governorDenials.Load()
 	return s
 }
 
@@ -278,6 +316,15 @@ func (c *statsCollector) addCompaction(cs core.Stats) {
 		for st := core.S1Read; st <= core.S7Write; st++ {
 			s.CompactionSteps[st] += cs.Steps.Get(st)
 		}
+		if cs.Mode == core.ModePCP || cs.Mode == core.ModeDeepPCP {
+			s.PipelinedCompactions++
+		}
+		s.CompactionStageBusy.Read += cs.StageBusy.Read
+		s.CompactionStageBusy.Compute += cs.StageBusy.Compute
+		s.CompactionStageBusy.Write += cs.StageBusy.Write
+		s.CompactionStageIdle.Read += cs.Pipeline.StageIdle.Read
+		s.CompactionStageIdle.Compute += cs.Pipeline.StageIdle.Compute
+		s.CompactionStageIdle.Write += cs.Pipeline.StageIdle.Write
 		s.LastCompaction = cs
 	})
 }
