@@ -14,6 +14,7 @@
 //	pcpbench -readjson f.json  # write the read-under-compaction comparison as JSON and exit
 //	pcpbench -memjson f.json   # write the sharded-memtable/allocation comparison as JSON and exit
 //	pcpbench -pipejson f.json  # write the live-pipeline comparison (scp/pcp-fixed/pcp-adaptive) as JSON and exit
+//	pcpbench -policyjson f.json # write the compaction-policy comparison (leveling/lazy-leveling/coldest-range/auto + trivial-move ablation) as JSON and exit
 //
 // Output is the same rows/series the paper plots, as aligned text tables.
 package main
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10, 11, 11b, 12, 12s, 12c, model, sched, write, read, mem, pipe, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10, 11, 11b, 12, 12s, 12c, model, sched, write, read, mem, pipe, policy, all")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	timeScale := flag.Float64("timescale", -1, "override simulated-device time scale (1.0 = faithful)")
 	schedJSON := flag.String("schedjson", "", "run the background-scheduler comparison and write it to this file as JSON")
@@ -37,6 +38,7 @@ func main() {
 	readJSON := flag.String("readjson", "", "run the read-under-compaction comparison and write it to this file as JSON")
 	memJSON := flag.String("memjson", "", "run the sharded-memtable/allocation comparison and write it to this file as JSON")
 	pipeJSON := flag.String("pipejson", "", "run the live-pipeline comparison (scp vs pcp-fixed vs pcp-adaptive) and write it to this file as JSON")
+	policyJSON := flag.String("policyjson", "", "run the compaction-policy comparison (incl. trivial-move ablation) and write it to this file as JSON")
 	crashSeed := flag.Int64("crashseed", 1, "base seed for -crashjson cycles")
 	crashSeeds := flag.Int("crashseeds", 200, "number of seeded power-cut cycles for -crashjson")
 	flag.Parse()
@@ -118,6 +120,15 @@ func main() {
 		writeArtifact(*pipeJSON, cmp)
 		return
 	}
+	if *policyJSON != "" {
+		cmp, err := harness.RunPolicyComparison(sc, sc.Fig12Entries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcpbench: policy comparison: %v\n", err)
+			os.Exit(1)
+		}
+		writeArtifact(*policyJSON, cmp)
+		return
+	}
 	if *crashJSON != "" {
 		sum := harness.RunCrashMatrix(*crashSeed, *crashSeeds)
 		writeArtifact(*crashJSON, sum)
@@ -134,21 +145,22 @@ func main() {
 		run  func(harness.Scale) (*harness.Table, error)
 	}
 	figures := map[string][]figure{
-		"5":     {{"5", harness.Fig5}},
-		"8":     {{"8", harness.Fig8}},
-		"9":     {{"9", harness.Fig9}},
-		"10":    {{"10", harness.Fig10}},
-		"11":    {{"11a", harness.Fig11}, {"11b", harness.Fig11b}},
-		"11b":   {{"11b", harness.Fig11b}},
-		"12":    {{"12a-c", harness.Fig12SPPCP}, {"12d-f", harness.Fig12CPPCP}},
-		"12s":   {{"12a-c", harness.Fig12SPPCP}},
-		"12c":   {{"12d-f", harness.Fig12CPPCP}},
-		"model": {{"model", harness.FigModel}},
-		"sched": {{"sched", harness.FigSched}},
-		"write": {{"write", harness.FigWrite}},
-		"read":  {{"read", harness.FigRead}},
-		"mem":   {{"mem", harness.FigMem}},
-		"pipe":  {{"pipe", harness.FigPipe}},
+		"5":      {{"5", harness.Fig5}},
+		"8":      {{"8", harness.Fig8}},
+		"9":      {{"9", harness.Fig9}},
+		"10":     {{"10", harness.Fig10}},
+		"11":     {{"11a", harness.Fig11}, {"11b", harness.Fig11b}},
+		"11b":    {{"11b", harness.Fig11b}},
+		"12":     {{"12a-c", harness.Fig12SPPCP}, {"12d-f", harness.Fig12CPPCP}},
+		"12s":    {{"12a-c", harness.Fig12SPPCP}},
+		"12c":    {{"12d-f", harness.Fig12CPPCP}},
+		"model":  {{"model", harness.FigModel}},
+		"sched":  {{"sched", harness.FigSched}},
+		"write":  {{"write", harness.FigWrite}},
+		"read":   {{"read", harness.FigRead}},
+		"mem":    {{"mem", harness.FigMem}},
+		"pipe":   {{"pipe", harness.FigPipe}},
+		"policy": {{"policy", harness.FigPolicy}},
 	}
 	var runs []figure
 	if *fig == "all" {

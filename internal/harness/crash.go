@@ -40,6 +40,13 @@ type CrashConfig struct {
 	// the adaptive governor, so a power cut can land mid-pipeline with
 	// multiple output writers in flight.
 	SCP bool
+	// Policy pins the compaction policy for the cycle (the empty default
+	// runs leveling with the self-tuner enabled). Every policy must uphold
+	// the same recovery contract: policies change only which compaction
+	// runs, never the durability semantics — and trivial moves add a new
+	// manifest-record shape (a same-number table changing levels) the cut
+	// must be able to land around.
+	Policy string
 	// MaxKeys is the per-writer keyspace size (default 16; small so batches
 	// overwrite and delete hot keys).
 	MaxKeys int
@@ -93,7 +100,7 @@ type crashBatch struct {
 // rotation, flushes, and compactions. The PCP leg (scp=false) runs parallel
 // stage workers so the cut can tear a compaction with several output
 // writers mid-file.
-func crashGeometry(fs storage.FS, serial, scp bool) lsm.Options {
+func crashGeometry(fs storage.FS, serial, scp bool, policy string) lsm.Options {
 	opts := lsm.Options{
 		FS:                  fs,
 		MemtableSize:        8 << 10,
@@ -102,6 +109,7 @@ func crashGeometry(fs storage.FS, serial, scp bool) lsm.Options {
 		L0CompactionTrigger: 2,
 		SyncWAL:             true,
 		DisableGroupCommit:  serial,
+		CompactionPolicy:    policy,
 		BackgroundRetry:     lsm.BackgroundRetryPolicy{Max: 2, BaseDelay: 200 * time.Microsecond},
 	}
 	if scp {
@@ -130,7 +138,7 @@ func RunCrashCycle(cfg CrashConfig) (CrashCycleResult, error) {
 
 	inner := storage.NewMemFS()
 	ffs := storage.NewSeededFaultFS(inner, cfg.Seed)
-	db, err := lsm.Open(crashGeometry(ffs, cfg.Serial, cfg.SCP))
+	db, err := lsm.Open(crashGeometry(ffs, cfg.Serial, cfg.SCP, cfg.Policy))
 	if err != nil {
 		return res, fmt.Errorf("initial open: %w", err)
 	}
@@ -187,7 +195,7 @@ func RunCrashCycle(cfg CrashConfig) (CrashCycleResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("rendering crash image: %w", err)
 	}
-	db2, err := lsm.Open(crashGeometry(img, cfg.Serial, cfg.SCP))
+	db2, err := lsm.Open(crashGeometry(img, cfg.Serial, cfg.SCP, cfg.Policy))
 	if err != nil {
 		return res, fmt.Errorf("reopen after cut: %w", err)
 	}
@@ -349,14 +357,20 @@ type CrashSummary struct {
 	BaseSeed     int64    `json:"base_seed"`
 }
 
+// crashPolicyCycle rotates the compaction-policy dimension across cycles:
+// the auto-tuned default plus each pinned policy.
+var crashPolicyCycle = []string{"", lsm.PolicyLeveling, lsm.PolicyLazyLeveling, lsm.PolicyColdestRange}
+
 // RunCrashMatrix runs n seeded cycles starting at baseSeed, cycling through
-// the commit-mode × compaction-procedure matrix (grouped/serial commits ×
-// parallel-PCP/SCP compactions), and aggregates the outcome.
+// the commit-mode × compaction-procedure × compaction-policy matrix
+// (grouped/serial commits × parallel-PCP/SCP compactions × auto/pinned
+// policies), and aggregates the outcome.
 func RunCrashMatrix(baseSeed int64, n int) CrashSummary {
 	sum := CrashSummary{BaseSeed: baseSeed}
 	for i := 0; i < n; i++ {
 		seed := baseSeed + int64(i)
-		res, err := RunCrashCycle(CrashConfig{Seed: seed, Serial: i%2 == 1, SCP: i%4 >= 2})
+		res, err := RunCrashCycle(CrashConfig{Seed: seed, Serial: i%2 == 1, SCP: i%4 >= 2,
+			Policy: crashPolicyCycle[i%len(crashPolicyCycle)]})
 		sum.Cycles++
 		sum.AckedBatches += res.AckedBatch
 		sum.KeysChecked += res.KeysChecked

@@ -19,11 +19,22 @@ func crashSeedBase(t *testing.T) int64 {
 	return 1
 }
 
+// crashPolicy selects the compaction policy for cycle i: the CI policy
+// matrix pins one via PCPLSM_CRASH_POLICY, otherwise cycles rotate through
+// auto + every pinned policy.
+func crashPolicy(i int) string {
+	if p := os.Getenv("PCPLSM_CRASH_POLICY"); p != "" {
+		return p
+	}
+	return crashPolicyCycle[i%len(crashPolicyCycle)]
+}
+
 // TestCrashCycles is the acceptance gate: many seeded power-cut/reopen
-// cycles across the commit-mode × compaction-procedure matrix (grouped and
-// serial commits, parallel-PCP and SCP compactions), zero lost acknowledged
-// writes and zero torn batches. Cycles are sharded into parallel subtests
-// so -race runs stay within test timeouts.
+// cycles across the commit-mode × compaction-procedure × compaction-policy
+// matrix (grouped and serial commits, parallel-PCP and SCP compactions,
+// auto-tuned and pinned policies), zero lost acknowledged writes and zero
+// torn batches. Cycles are sharded into parallel subtests so -race runs
+// stay within test timeouts.
 func TestCrashCycles(t *testing.T) {
 	cycles := 200
 	if testing.Short() {
@@ -45,6 +56,7 @@ func TestCrashCycles(t *testing.T) {
 					Seed:   seed,
 					Serial: (lo+i)%2 == 1,
 					SCP:    (lo+i)%4 >= 2,
+					Policy: crashPolicy(lo + i),
 				})
 				if err != nil {
 					t.Errorf("cycle failed: %v", err)

@@ -49,6 +49,18 @@ type DB struct {
 	// governor.go); nil when Options.PipelineComputeTokens < 0.
 	governor *pipelineGovernor
 
+	// penv is the picker's stable view of the engine handed to every
+	// CompactionPolicy.Pick call (see policy.go).
+	penv *policyEnv
+
+	// tuner is the metrics-driven policy self-tuner; nil when
+	// Options.CompactionPolicy pins a policy. tunerMu serializes its
+	// window with the last-sample snapshot (leaf lock, never held with
+	// db.mu).
+	tunerMu       sync.Mutex
+	tuner         *policyTuner
+	lastTuneStats Stats
+
 	// installMu serializes version-edit application with the matching
 	// manifest append, so the journal replays in the same order the
 	// versions were installed even with concurrent installers.
@@ -70,15 +82,18 @@ type DB struct {
 	applyOps   []memtable.Op // scratch for staging a group's ops, reused like commitBuf
 	visibleSeq atomic.Uint64
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	mem        *memtable.Memtable
-	imm        *memtable.Memtable
-	wal        *wal.Writer
-	walNum     uint64
-	immWalNum  uint64
-	seq        uint64
-	compactPtr [NumLevels][]byte // round-robin compaction cursors
+	mu        sync.Mutex
+	cond      *sync.Cond
+	mem       *memtable.Memtable
+	imm       *memtable.Memtable
+	wal       *wal.Writer
+	walNum    uint64
+	immWalNum uint64
+	seq       uint64
+	// policy is the active compaction policy; the tuner may swap it
+	// mid-run (guarded by mu, like the cursors it steers).
+	policy     CompactionPolicy
+	compactPtr [NumLevels][]byte // round-robin compaction cursors (journaled in the manifest)
 	snapshots  map[uint64]int    // live snapshot seq -> refcount
 	closed     bool
 	bgErr      error
@@ -108,6 +123,7 @@ type DB struct {
 	gCompactionsTotal   *metrics.Gauge
 	gCompactionsByLevel [NumLevels]*metrics.Gauge
 	gClaimedBytes       *metrics.Gauge
+	gPolicyActive       *metrics.Gauge
 }
 
 // newMemtable builds an empty memtable from the DB's sharding/arena options.
@@ -170,6 +186,23 @@ func Open(opts Options) (*DB, error) {
 		db.gCompactionsByLevel[l] = reg.Gauge(fmt.Sprintf("lsm_compactions_inflight_l%d", l))
 	}
 	db.gClaimedBytes = reg.Gauge("lsm_claimed_bytes")
+	db.gPolicyActive = reg.Gauge("lsm_policy_active")
+	// Resolve the compaction policy. An empty name starts at leveling
+	// with the self-tuner active; a pinned name disables the tuner.
+	polName, tune := opts.CompactionPolicy, opts.CompactionPolicy == ""
+	if polName == "" {
+		polName = PolicyLeveling
+	}
+	pol, err := newPolicy(polName)
+	if err != nil {
+		return nil, err
+	}
+	db.policy = pol
+	db.gPolicyActive.Set(policyIndex(polName))
+	db.penv = &policyEnv{opts: &db.opts, free: db.levelPairFree, cursor: &db.compactPtr, heat: heat}
+	if tune {
+		db.tuner = newPolicyTuner(polName, opts.PolicyTunerWindow, heat != nil)
+	}
 	if opts.PipelineComputeTokens > 0 {
 		db.governor = newPipelineGovernor(opts.PipelineComputeTokens,
 			max(1, opts.PipelineIOTokens), reg)
@@ -215,6 +248,14 @@ func Open(opts Options) (*DB, error) {
 			rec.Added[level] = toManifestTables(tables)
 		}
 	}
+	for level, ptr := range db.compactPtr {
+		if ptr != nil {
+			if rec.CompactPtr == nil {
+				rec.CompactPtr = map[int][]byte{}
+			}
+			rec.CompactPtr[level] = ptr
+		}
+	}
 	if err := rewriteManifest(db.fs, rec); err != nil {
 		return nil, err
 	}
@@ -258,6 +299,14 @@ func (db *DB) recover() error {
 			for level, nums := range rec.Deleted {
 				for _, n := range nums {
 					edit.DeleteTable(level, n)
+				}
+			}
+			// Restore the round-robin cursors so file picking resumes where
+			// the previous incarnation left off instead of resetting to the
+			// start of every level.
+			for level, ptr := range rec.CompactPtr {
+				if level >= 0 && level < NumLevels && len(ptr) > 0 {
+					db.compactPtr[level] = append([]byte(nil), ptr...)
 				}
 			}
 			db.vs.Apply(edit)
@@ -630,6 +679,9 @@ func (db *DB) Stats() Stats {
 		s.PipelineComputeLeased = int64(cl)
 		s.PipelineIOLeased = int64(il)
 	}
+	db.mu.Lock()
+	s.ActivePolicy = db.policy.Name()
+	db.mu.Unlock()
 	return s
 }
 
@@ -680,6 +732,11 @@ func (db *DB) Metrics() *metrics.Registry {
 	db.reg.Gauge("lsm_governor_grows").Set(s.GovernorGrows)
 	db.reg.Gauge("lsm_governor_shrinks").Set(s.GovernorShrinks)
 	db.reg.Gauge("lsm_governor_denials").Set(s.GovernorDenials)
+	// Compaction-policy observability. lsm_policy_active is maintained live
+	// by setPolicy/Open (see policyIndex for the value encoding).
+	db.reg.Gauge("lsm_trivial_moves").Set(s.TrivialMoves)
+	db.reg.Gauge("lsm_trivial_move_bytes").Set(s.TrivialMoveBytes)
+	db.reg.Gauge("lsm_policy_switches").Set(s.PolicySwitches)
 	db.reg.Gauge("lsm_compaction_stage_busy_read_ns").Set(int64(s.CompactionStageBusy.Read))
 	db.reg.Gauge("lsm_compaction_stage_busy_compute_ns").Set(int64(s.CompactionStageBusy.Compute))
 	db.reg.Gauge("lsm_compaction_stage_busy_write_ns").Set(int64(s.CompactionStageBusy.Write))
@@ -888,49 +945,56 @@ type pickedCompaction struct {
 	overlap []*TableMeta
 }
 
-// pickCompaction selects the highest-scoring level over threshold whose
-// level pair is not claimed by an in-flight compaction, or nil. Called with
-// db.mu held (reads compactPtr and the claim sets).
+// pickCompaction delegates to the active compaction policy (policy.go):
+// trigger scoring and input selection are the policy's axes. Called with
+// db.mu held (the policy reads compactPtr and the claim sets through
+// db.penv).
 func (db *DB) pickCompaction(v *Version) *pickedCompaction {
-	bestLevel, bestScore := -1, 0.0
-	if n := len(v.Levels[0]); n >= db.opts.L0CompactionTrigger && db.levelPairFree(0) {
-		bestLevel = 0
-		bestScore = float64(n) / float64(db.opts.L0CompactionTrigger)
-	}
-	for level := 1; level < NumLevels-1; level++ {
-		if !db.levelPairFree(level) {
-			continue
-		}
-		score := float64(v.LevelSize(level)) / float64(db.opts.maxLevelSize(level))
-		if score > bestScore && score >= 1.0 {
-			bestLevel, bestScore = level, score
-		}
-	}
-	if bestLevel < 0 {
-		return nil
-	}
+	return db.policy.Pick(db.penv, v)
+}
 
-	pc := &pickedCompaction{level: bestLevel}
-	if bestLevel == 0 {
-		pc.inputs = append(pc.inputs, v.Levels[0]...)
-	} else {
-		tables := v.Levels[bestLevel]
-		// Round-robin: first table starting after the last compacted key.
-		ptr := db.compactPtr[bestLevel]
-		idx := 0
-		if ptr != nil {
-			idx = sort.Search(len(tables), func(i int) bool {
-				return ikey.Compare(tables[i].Smallest, ptr) > 0
-			})
-			if idx == len(tables) {
-				idx = 0
-			}
-		}
-		pc.inputs = append(pc.inputs, tables[idx])
+// ActivePolicy returns the name of the compaction policy currently in
+// effect (the pinned one, or whatever the self-tuner last selected).
+func (db *DB) ActivePolicy() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.policy.Name()
+}
+
+// setPolicy installs the named policy if it differs from the active one.
+func (db *DB) setPolicy(name string) {
+	db.mu.Lock()
+	if db.policy.Name() == name {
+		db.mu.Unlock()
+		return
 	}
-	smallest, largest := keyRange(pc.inputs)
-	pc.overlap = v.overlapping(bestLevel+1, smallest, largest)
-	return pc
+	pol, err := newPolicy(name)
+	if err != nil {
+		db.mu.Unlock()
+		return
+	}
+	db.policy = pol
+	db.mu.Unlock()
+	db.stats.addPolicySwitch()
+	db.gPolicyActive.Set(policyIndex(name))
+	db.opts.logf("lsm: compaction policy switched to %s", name)
+	db.nudge()
+}
+
+// maybeTunePolicy feeds the self-tuner one sample of metric deltas (one
+// per completed background unit) and applies any policy switch it
+// orders. No-op when the policy is pinned.
+func (db *DB) maybeTunePolicy() {
+	if db.tuner == nil {
+		return
+	}
+	db.tunerMu.Lock()
+	cur := db.stats.snapshot()
+	sample := deltaSample(db.lastTuneStats, cur)
+	db.lastTuneStats = cur
+	want := db.tuner.observe(sample)
+	db.tunerMu.Unlock()
+	db.setPolicy(want)
 }
 
 // keyRange returns the union range of tables.
@@ -1086,6 +1150,7 @@ func (db *DB) runCompaction(pc *pickedCompaction, claim *compactionClaim) error 
 	if pc.level > 0 && len(pc.inputs) > 0 {
 		db.compactPtr[pc.level] = append([]byte(nil),
 			pc.inputs[len(pc.inputs)-1].Largest...)
+		rec.CompactPtr = map[int][]byte{pc.level: db.compactPtr[pc.level]}
 	}
 	db.mu.Unlock()
 	aerr := db.man.append(rec)
@@ -1111,6 +1176,64 @@ func (db *DB) runCompaction(pc *pickedCompaction, claim *compactionClaim) error 
 	return nil
 }
 
+// trivialMoveOK reports whether a picked compaction can be installed as a
+// metadata-only move: a single input table with zero next-level overlap
+// needs no merging, so rewriting it through the pipeline is pure write
+// amplification. Moving into the bottom level is excluded while no
+// snapshot is open, because there a rewrite is not pure waste — it is the
+// only chance to drop tombstones and shadowed versions (with a snapshot
+// open the rewrite would have to retain them anyway, so the move loses
+// nothing). Called with db.mu held (reads db.policy and db.snapshots).
+func (db *DB) trivialMoveOK(pc *pickedCompaction) bool {
+	if db.opts.DisableTrivialMove || !db.policy.AllowTrivialMove() {
+		return false
+	}
+	if len(pc.inputs) != 1 || len(pc.overlap) != 0 {
+		return false
+	}
+	if pc.level+1 == NumLevels-1 && len(db.snapshots) == 0 {
+		return false
+	}
+	return true
+}
+
+// runTrivialMove installs pc's single input one level down as a pure
+// version edit plus manifest record — no table I/O, no new file number, no
+// cache eviction. The caller holds pc's claim and releases it afterwards,
+// exactly like runCompaction.
+func (db *DB) runTrivialMove(pc *pickedCompaction) error {
+	t := pc.inputs[0]
+	edit := NewVersionEdit()
+	edit.DeleteTable(pc.level, t.Num)
+	edit.AddTable(pc.level+1, t)
+	rec := &manifestRecord{
+		Added:   map[int][]manifestTable{pc.level + 1: toManifestTables([]*TableMeta{t})},
+		Deleted: map[int][]uint64{pc.level: {t.Num}},
+	}
+
+	db.installMu.Lock()
+	db.mu.Lock()
+	nv := db.vs.Apply(edit)
+	if pc.level > 0 {
+		db.compactPtr[pc.level] = append([]byte(nil), t.Largest...)
+		rec.CompactPtr = map[int][]byte{pc.level: db.compactPtr[pc.level]}
+	}
+	db.mu.Unlock()
+	aerr := db.man.append(rec)
+	db.installMu.Unlock()
+	if aerr != nil {
+		return aerr
+	}
+	if err := nv.checkInvariants(); err != nil {
+		return err
+	}
+	db.stats.addTrivialMove(t.Size)
+	db.opts.logf("lsm: trivial move: table %s L%d→L%d (%d bytes, no rewrite)",
+		t.FileName(), pc.level, pc.level+1, t.Size)
+	db.nudge()
+	return nil
+}
+
 // CompactLevel synchronously compacts one unit of work from the given level
 // into the next, regardless of thresholds. It is the hook experiments use
 // to measure isolated compactions.
@@ -1123,15 +1246,10 @@ func (db *DB) CompactLevel(level int) error {
 		if len(v.Levels[level]) == 0 {
 			return nil
 		}
-		pc := &pickedCompaction{level: level}
-		if level == 0 {
-			pc.inputs = append(pc.inputs, v.Levels[0]...)
-		} else {
-			pc.inputs = append(pc.inputs, v.Levels[level][0])
-		}
-		smallest, largest := keyRange(pc.inputs)
-		pc.overlap = v.overlapping(level+1, smallest, largest)
-		return pc
+		// The same round-robin cursor the background picker uses, so manual
+		// level compactions rotate through the level (and advance the
+		// persisted cursor) exactly like automatic ones.
+		return pickInputs(db.penv, v, level, cursorPick)
 	})
 	db.mu.Unlock()
 	if werr != nil || pc == nil {

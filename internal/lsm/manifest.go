@@ -29,6 +29,10 @@ type manifestRecord struct {
 	Seq uint64 `json:"seq,omitempty"`
 	// NextFile checkpoints the file-number allocator.
 	NextFile uint64 `json:"next_file,omitempty"`
+	// CompactPtr journals per-level round-robin compaction cursors (the
+	// largest key compacted from that level), so file rotation resumes
+	// where it left off instead of resetting on every reopen.
+	CompactPtr map[int][]byte `json:"compact_ptr,omitempty"`
 }
 
 // manifestTable is the JSON form of TableMeta.

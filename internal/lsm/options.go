@@ -56,6 +56,33 @@ type Options struct {
 	// Codec compresses data blocks (default Snappy).
 	Codec compress.Codec
 
+	// CompactionPolicy pins which compaction runs (as opposed to how it
+	// runs — that is Compaction below) by name: "leveling" (LevelDB-style
+	// normalized fullness triggers, round-robin file picking),
+	// "lazy-leveling" (a tiering posture at the upper levels: fewer,
+	// larger merges, lower write amplification), or "coldest-range"
+	// (leveling triggers, but file picking steered by the block-cache
+	// heat map so compactions churn cold data). Empty selects leveling
+	// with the metrics-driven self-tuner enabled: the DB samples its own
+	// stall/write-amp/read-mix counters over a sliding window and
+	// switches policies as the workload shifts. Naming a policy disables
+	// the tuner — the escape hatch to pin behaviour.
+	CompactionPolicy string
+
+	// PolicyTunerWindow is the self-tuner's sliding-window length in
+	// samples (one sample per completed flush or compaction). 0 selects
+	// the default of 8; values are clamped to [2, 64]. Ignored when
+	// CompactionPolicy pins a policy.
+	PolicyTunerWindow int
+
+	// DisableTrivialMove forces every picked compaction through the full
+	// read-merge-write pipeline even when its input has no next-level
+	// overlap. By default such a table is moved down by a metadata-only
+	// version edit — no bytes rewritten, the file keeps its number, and
+	// its cached blocks stay valid. Disabling is mainly for benchmarks
+	// isolating the effect (the policy comparison's write-amp ablation).
+	DisableTrivialMove bool
+
 	// Compaction configures the procedure (mode, sub-task size, queue depth,
 	// compute/IO parallelism). Block/table/codec fields inside it are
 	// overridden by the DB-level settings above. The zero-valued Mode
@@ -216,11 +243,26 @@ func (o Options) withDefaults() Options {
 	if o.L0StallTrigger <= 0 {
 		o.L0StallTrigger = 12
 	}
+	// A stall trigger below the compaction trigger would stall writers on an
+	// L0 no policy is yet due to drain: flushes stop, the count never grows,
+	// and nothing ever frees the writer (the policies' urgent-L0 rule only
+	// guarantees a pick at or before the stall when stall ≥ trigger).
+	if o.L0StallTrigger < o.L0CompactionTrigger {
+		o.L0StallTrigger = o.L0CompactionTrigger
+	}
 	if o.BaseLevelSize <= 0 {
 		o.BaseLevelSize = 8 << 20
 	}
 	if o.LevelMultiplier <= 0 {
 		o.LevelMultiplier = 10
+	}
+	switch {
+	case o.PolicyTunerWindow == 0:
+		o.PolicyTunerWindow = defaultTunerWindow
+	case o.PolicyTunerWindow < minTunerSamples:
+		o.PolicyTunerWindow = minTunerSamples
+	case o.PolicyTunerWindow > 64:
+		o.PolicyTunerWindow = 64
 	}
 	if o.BackgroundWorkers <= 0 {
 		o.BackgroundWorkers = 2

@@ -139,6 +139,10 @@ func (db *DB) backgroundWorker() {
 				break
 			}
 			db.noteBackgroundSuccess()
+			// One tuner sample per completed background unit: flushes and
+			// compactions are the events that change the shape of the tree, so
+			// they pace the policy self-tuning.
+			db.maybeTunePolicy()
 		}
 	}
 }
@@ -241,9 +245,15 @@ func (db *DB) backgroundStep() (bool, error) {
 		db.mu.Unlock()
 		return false, nil
 	}
+	trivial := db.trivialMoveOK(pc)
 	db.mu.Unlock()
 	db.nudge() // more disjoint work may be runnable in parallel
-	err := db.runCompaction(pc, claim)
+	var err error
+	if trivial {
+		err = db.runTrivialMove(pc)
+	} else {
+		err = db.runCompaction(pc, claim)
+	}
 	db.mu.Lock()
 	db.releaseCompaction(claim)
 	db.mu.Unlock()

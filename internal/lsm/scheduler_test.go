@@ -103,6 +103,7 @@ func TestFlushOverlapsCompaction(t *testing.T) {
 	opts := smallOpts(gate)
 	opts.BackgroundWorkers = 2
 	opts.DisableAutoCompaction = true // manual control while loading
+	opts.DisableTrivialMove = true    // L2 is empty: force a rewrite so Create fires
 	db := mustOpen(t, opts)
 	defer db.Close()
 	rng := rand.New(rand.NewSource(42))
@@ -181,6 +182,7 @@ func TestConflictingCompactionsSerialize(t *testing.T) {
 	opts := smallOpts(gate)
 	opts.BackgroundWorkers = 2
 	opts.DisableAutoCompaction = true
+	opts.DisableTrivialMove = true // L2 is empty: force a rewrite so Create fires
 	db := mustOpen(t, opts)
 	defer db.Close()
 	rng := rand.New(rand.NewSource(43))
@@ -235,6 +237,7 @@ func TestDisjointCompactionsOverlap(t *testing.T) {
 	opts := smallOpts(gate)
 	opts.BackgroundWorkers = 2
 	opts.DisableAutoCompaction = true
+	opts.DisableTrivialMove = true // empty target levels: force rewrites so Create fires
 	db := mustOpen(t, opts)
 	defer db.Close()
 	rng := rand.New(rand.NewSource(44))

@@ -38,6 +38,12 @@ type Stats struct {
 
 	// Compactions counts background merges.
 	Compactions int64
+	// TrivialMoves counts picked inputs with no next-level overlap that
+	// were installed as metadata-only edits instead of being rewritten
+	// through the pipeline; TrivialMoveBytes totals the table bytes those
+	// moves spared from rewriting.
+	TrivialMoves     int64
+	TrivialMoveBytes int64
 	// CompactionInputBytes/OutputBytes total the data volumes.
 	CompactionInputBytes  int64
 	CompactionOutputBytes int64
@@ -92,6 +98,12 @@ type Stats struct {
 	MemtableArenaUsed       int64
 	ApplyShardRuns          int64
 	ParallelApplies         int64
+
+	// Compaction-policy state. ActivePolicy names the policy in effect at
+	// the instant of the snapshot; PolicySwitches counts runtime switches
+	// applied by the self-tuner (zero when a policy is pinned).
+	ActivePolicy   string
+	PolicySwitches int64
 
 	// Error-policy counters. BackgroundRetries counts transient background
 	// failures that were retried; BackgroundErrors counts failures that
@@ -188,6 +200,10 @@ type statsCollector struct {
 	governorShrinks atomic.Int64
 	governorDenials atomic.Int64
 
+	trivialMoves     atomic.Int64
+	trivialMoveBytes atomic.Int64
+	policySwitches   atomic.Int64
+
 	mu sync.Mutex
 	s  Stats
 }
@@ -211,6 +227,14 @@ func (c *statsCollector) addCorruption()      { c.corruptions.Add(1) }
 func (c *statsCollector) addGovernorGrow()   { c.governorGrows.Add(1) }
 func (c *statsCollector) addGovernorShrink() { c.governorShrinks.Add(1) }
 func (c *statsCollector) addGovernorDenial() { c.governorDenials.Add(1) }
+
+// addTrivialMove records one metadata-only table move of size bytes.
+func (c *statsCollector) addTrivialMove(size int64) {
+	c.trivialMoves.Add(1)
+	c.trivialMoveBytes.Add(size)
+}
+
+func (c *statsCollector) addPolicySwitch() { c.policySwitches.Add(1) }
 
 // addCommit records one committed group of groupSize writers, synced with
 // one fsync when synced is set.
@@ -297,6 +321,9 @@ func (c *statsCollector) snapshot() Stats {
 	s.GovernorGrows = c.governorGrows.Load()
 	s.GovernorShrinks = c.governorShrinks.Load()
 	s.GovernorDenials = c.governorDenials.Load()
+	s.TrivialMoves = c.trivialMoves.Load()
+	s.TrivialMoveBytes = c.trivialMoveBytes.Load()
+	s.PolicySwitches = c.policySwitches.Load()
 	return s
 }
 

@@ -165,6 +165,17 @@ type Options struct {
 	WriteGroupMaxBytes int
 	// DisableAutoCompaction turns the background scheduler off.
 	DisableAutoCompaction bool
+	// CompactionPolicy pins the picker: "leveling", "lazy-leveling" or
+	// "coldest-range". Empty enables the metrics-driven self-tuner, which
+	// switches between them as the workload shifts.
+	CompactionPolicy string
+	// PolicyTunerWindow is the self-tuner's sliding sample window in
+	// completed background units (0 = default 8, clamped to [2, 64]).
+	PolicyTunerWindow int
+	// DisableTrivialMove forces full rewrites even when a compaction input
+	// overlaps nothing in the target level (by default such tables move by
+	// metadata edit alone, with no table I/O).
+	DisableTrivialMove bool
 	// BackgroundRetry bounds the retries of transient background I/O
 	// errors before the store degrades to read-only. Detected corruption
 	// and WAL-append failures are never retried.
@@ -253,6 +264,9 @@ func Open(opts Options) (*DB, error) {
 		WriteGroupMaxCount:    opts.WriteGroupMaxCount,
 		WriteGroupMaxBytes:    int64(opts.WriteGroupMaxBytes),
 		DisableAutoCompaction: opts.DisableAutoCompaction,
+		CompactionPolicy:      opts.CompactionPolicy,
+		PolicyTunerWindow:     opts.PolicyTunerWindow,
+		DisableTrivialMove:    opts.DisableTrivialMove,
 		BackgroundRetry:       opts.BackgroundRetry,
 		Logf:                  opts.Logf,
 	})
