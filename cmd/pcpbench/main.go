@@ -11,6 +11,7 @@
 //	pcpbench -schedjson f.json # write the scheduler comparison as JSON and exit
 //	pcpbench -writejson f.json # write the group-commit comparison as JSON and exit
 //	pcpbench -crashjson f.json # run the crash-consistency matrix, write the summary, exit
+//	pcpbench -scrubjson f.json # run the bit-rot/scrub/quarantine matrix, write the summary, exit
 //	pcpbench -readjson f.json  # write the read-under-compaction comparison as JSON and exit
 //	pcpbench -memjson f.json   # write the sharded-memtable/allocation comparison as JSON and exit
 //	pcpbench -pipejson f.json  # write the live-pipeline comparison (scp/pcp-fixed/pcp-adaptive) as JSON and exit
@@ -41,6 +42,9 @@ func main() {
 	policyJSON := flag.String("policyjson", "", "run the compaction-policy comparison (incl. trivial-move ablation) and write it to this file as JSON")
 	crashSeed := flag.Int64("crashseed", 1, "base seed for -crashjson cycles")
 	crashSeeds := flag.Int("crashseeds", 200, "number of seeded power-cut cycles for -crashjson")
+	scrubJSON := flag.String("scrubjson", "", "run the bit-rot/scrub/quarantine matrix and write the summary to this file as JSON")
+	scrubSeed := flag.Int64("scrubseed", 1, "base seed for -scrubjson cycles")
+	scrubSeeds := flag.Int("scrubseeds", 24, "number of seeded bit-rot cycles for -scrubjson")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -134,6 +138,16 @@ func main() {
 		writeArtifact(*crashJSON, sum)
 		if sum.Failed > 0 {
 			fmt.Fprintf(os.Stderr, "pcpbench: %d of %d crash cycles failed (seeds %v)\n",
+				sum.Failed, sum.Cycles, sum.FailedSeeds)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scrubJSON != "" {
+		sum := harness.RunScrubMatrix(*scrubSeed, *scrubSeeds)
+		writeArtifact(*scrubJSON, sum)
+		if sum.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "pcpbench: %d of %d scrub cycles failed (seeds %v)\n",
 				sum.Failed, sum.Cycles, sum.FailedSeeds)
 			os.Exit(1)
 		}

@@ -9,6 +9,7 @@
 //	pcpdb -dir /tmp/db -n 100000 -vsize 100 -dist uniform load
 //	pcpdb -dir /tmp/db stats
 //	pcpdb -dir /tmp/db compact
+//	pcpdb -dir /tmp/db scrub   (alias: verify)
 //
 // All flags come before the command (standard Go flag parsing). The
 // -mode/-compute/-io flags select the compaction procedure; -sim runs on a
@@ -45,7 +46,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "pcpdb: missing command (put|get|del|scan|load|stats|compact)")
+		fmt.Fprintln(os.Stderr, "pcpdb: missing command (put|get|del|scan|load|stats|compact|scrub)")
 		os.Exit(2)
 	}
 
@@ -160,6 +161,29 @@ func main() {
 			fmt.Printf("device %d: reads=%d (%.1f MiB) writes=%d (%.1f MiB) busy=%v\n",
 				i, ds.Reads, float64(ds.ReadBytes)/(1<<20),
 				ds.Writes, float64(ds.WriteBytes)/(1<<20), ds.Busy())
+		}
+	case "scrub", "verify":
+		rep, err := db.Scrub()
+		if err != nil {
+			fatal(err)
+		}
+		for _, tr := range rep.Tables {
+			switch {
+			case tr.Skipped:
+				fmt.Printf("L%d %06d.sst  SKIP  %s\n", tr.Level, tr.Num, tr.Err)
+			case tr.OK:
+				fmt.Printf("L%d %06d.sst  OK    %d entries, %d bytes\n",
+					tr.Level, tr.Num, tr.Entries, tr.BytesVerified)
+			case tr.Quarantined:
+				fmt.Printf("L%d %06d.sst  CORRUPT (quarantined)  %s\n", tr.Level, tr.Num, tr.Err)
+			default:
+				fmt.Printf("L%d %06d.sst  ERROR  %s\n", tr.Level, tr.Num, tr.Err)
+			}
+		}
+		fmt.Printf("scrubbed %d tables (%.1f MiB): %d corrupt, %d skipped\n",
+			rep.Verified, float64(rep.Bytes)/(1<<20), rep.Corruptions, rep.Skipped)
+		if rep.Corruptions > 0 || rep.Skipped > 0 {
+			os.Exit(1)
 		}
 	case "compact":
 		levels := db.Levels()

@@ -1,0 +1,89 @@
+package checksum
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRoundTrip: for any payload, the full pipeline — Sum, Mask, Append,
+// VerifyTrailer, Unmask — is self-consistent: what Append writes, Verify
+// accepts, and the incremental SumWithSeed over any split of the payload
+// agrees with the one-shot Sum.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), 0)
+	f.Add([]byte("hello"), 2)
+	f.Add(bytes.Repeat([]byte{0xa2, 0x82, 0xea, 0xd8}, 64), 17)
+	f.Fuzz(func(t *testing.T, data []byte, split int) {
+		crc := Sum(data)
+		if Unmask(Mask(crc)) != crc {
+			t.Fatalf("Unmask(Mask(%#08x)) = %#08x", crc, Unmask(Mask(crc)))
+		}
+		if err := Verify(data, Mask(crc)); err != nil {
+			t.Fatalf("Verify of own checksum: %v", err)
+		}
+		// Incremental checksumming over an arbitrary split must agree.
+		s := split
+		if s < 0 {
+			s = -s
+		}
+		s %= len(data) + 1
+		if got := SumWithSeed(Sum(data[:s]), data[s:]); got != crc {
+			t.Fatalf("SumWithSeed split at %d = %#08x, Sum = %#08x", s, got, crc)
+		}
+		// The on-disk trailer round-trips through VerifyTrailer.
+		buf := Append(append([]byte(nil), data...), data)
+		payload, err := VerifyTrailer(buf)
+		if err != nil {
+			t.Fatalf("VerifyTrailer of Append output: %v", err)
+		}
+		if !bytes.Equal(payload, data) {
+			t.Fatalf("VerifyTrailer returned %q, want %q", payload, data)
+		}
+	})
+}
+
+// FuzzDetectsBitFlips: any single-bit flip in a checksummed buffer —
+// payload or trailer — must be rejected. CRC32-C guarantees detection of
+// all 1-bit (indeed all burst-<32-bit) errors; this is the property the
+// block reader, the WAL, and the scrubber rely on.
+func FuzzDetectsBitFlips(f *testing.F) {
+	f.Add([]byte("some block payload"), 3, 5)
+	f.Add([]byte{0}, 0, 0)
+	f.Add(bytes.Repeat([]byte{0xff}, 100), 99, 7)
+	f.Fuzz(func(t *testing.T, data []byte, pos, bit int) {
+		buf := Append(append([]byte(nil), data...), data)
+		if pos < 0 {
+			pos = -pos
+		}
+		pos %= len(buf)
+		if bit < 0 {
+			bit = -bit
+		}
+		buf[pos] ^= 1 << (bit % 8)
+		if _, err := VerifyTrailer(buf); err == nil {
+			t.Fatalf("flipping bit %d of byte %d in a %d-byte buffer went undetected",
+				bit%8, pos, len(buf))
+		}
+	})
+}
+
+// FuzzVerifyTrailerNeverPanics: arbitrary byte soup must produce a clean
+// accept or reject, never a panic or out-of-bounds access.
+func FuzzVerifyTrailerNeverPanics(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, 4))
+	valid := Append(nil, []byte("v"))
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		payload, err := VerifyTrailer(buf)
+		if err == nil {
+			// An accepted buffer must genuinely verify.
+			stored := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+			if Unmask(stored) != Sum(payload) {
+				t.Fatalf("VerifyTrailer accepted a buffer whose trailer does not match")
+			}
+		}
+	})
+}

@@ -99,6 +99,16 @@ type DB struct {
 	bgErr      error
 	bgFailures int // consecutive transient background failures (retry budget)
 
+	// quarantine is the set of table numbers isolated by a failed integrity
+	// verification (scrub, read trip, or compaction-input attribution).
+	// Mutations replace the map copy-on-write under mu, so read paths may
+	// capture the reference under mu and consult it lock-free afterwards.
+	// Journaled in the manifest so the scoped degradation survives reopen.
+	quarantine map[uint64]struct{}
+	// scrubCursor is the last table number the background scrub worker
+	// verified (journaled so a cycle resumes across reopen). Guarded by mu.
+	scrubCursor uint64
+
 	// Scheduler claim state (see scheduler.go); guarded by mu.
 	flushing            bool // a memtable flush is in flight
 	compactionsInFlight int
@@ -171,6 +181,7 @@ func Open(opts Options) (*DB, error) {
 		heat:           heat,
 		cache:          newTableCache(opts.FS, blockCache, heat),
 		snapshots:      map[uint64]int{},
+		quarantine:     map[uint64]struct{}{},
 		claimedFiles:   map[uint64]struct{}{},
 		pendingOutputs: map[uint64]struct{}{},
 		zombies:        map[uint64]struct{}{},
@@ -199,7 +210,8 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.policy = pol
 	db.gPolicyActive.Set(policyIndex(polName))
-	db.penv = &policyEnv{opts: &db.opts, free: db.levelPairFree, cursor: &db.compactPtr, heat: heat}
+	db.penv = &policyEnv{opts: &db.opts, free: db.levelPairFree, cursor: &db.compactPtr,
+		heat: heat, quarantined: db.quarantinedLocked}
 	if tune {
 		db.tuner = newPolicyTuner(polName, opts.PolicyTunerWindow, heat != nil)
 	}
@@ -256,6 +268,11 @@ func Open(opts Options) (*DB, error) {
 			rec.CompactPtr[level] = ptr
 		}
 	}
+	for num := range db.quarantine {
+		rec.Quarantined = append(rec.Quarantined, num)
+	}
+	sort.Slice(rec.Quarantined, func(i, j int) bool { return rec.Quarantined[i] < rec.Quarantined[j] })
+	rec.ScrubCursor = db.scrubCursor
 	if err := rewriteManifest(db.fs, rec); err != nil {
 		return nil, err
 	}
@@ -270,6 +287,10 @@ func Open(opts Options) (*DB, error) {
 	for i := 0; i < opts.BackgroundWorkers; i++ {
 		db.bgWg.Add(1)
 		go db.backgroundWorker()
+	}
+	if opts.ScrubInterval > 0 {
+		db.bgWg.Add(1)
+		go db.scrubLoop()
 	}
 	return db, nil
 }
@@ -309,6 +330,15 @@ func (db *DB) recover() error {
 					db.compactPtr[level] = append([]byte(nil), ptr...)
 				}
 			}
+			// Quarantine replay keeps the union of every record (tables are
+			// only de-quarantined by leaving the version, handled below);
+			// mutating in place is fine here — recovery is single-threaded.
+			for _, n := range rec.Quarantined {
+				db.quarantine[n] = struct{}{}
+			}
+			if rec.ScrubCursor > 0 {
+				db.scrubCursor = rec.ScrubCursor
+			}
 			db.vs.Apply(edit)
 			if rec.WALNum > 0 {
 				db.vs.bumpFileNum(rec.WALNum)
@@ -323,6 +353,9 @@ func (db *DB) recover() error {
 		if err := db.vs.Current().checkInvariants(); err != nil {
 			return err
 		}
+		// Quarantined tables that a later compaction or manual intervention
+		// removed from the tree are no longer a hazard.
+		db.pruneQuarantineLocked()
 	}
 
 	// Replay surviving logs oldest-first. Flushes delete superseded logs,
@@ -444,6 +477,91 @@ func (db *DB) noteReadError(err error) error {
 	return err
 }
 
+// noteTableReadError classifies an error from reading one specific table.
+// Unlike noteReadError, the corruption is attributable, so only that table
+// is quarantined — the store stays writable and every other range keeps
+// serving — instead of the store-wide read-only degradation reserved for
+// unattributable damage (WAL, manifest).
+func (db *DB) noteTableReadError(num uint64, err error) error {
+	if err == nil || errors.Is(err, ErrCorruption) {
+		return err
+	}
+	if isCorruptionErr(err) {
+		db.stats.addCorruption()
+		db.quarantineTable(num, err)
+		return &quarantinedError{num: num}
+	}
+	return err
+}
+
+// quarantineTable isolates table num after a failed verification: reads
+// covering its range fail with ErrQuarantined, the compaction picker skips
+// it, and the manifest journals it so the quarantine survives reopen. The
+// quarantine set is replaced copy-on-write so read paths can keep a
+// snapshot reference without locking.
+func (db *DB) quarantineTable(num uint64, cause error) {
+	db.mu.Lock()
+	if _, dup := db.quarantine[num]; dup {
+		db.mu.Unlock()
+		return
+	}
+	next := make(map[uint64]struct{}, len(db.quarantine)+1)
+	for n := range db.quarantine {
+		next[n] = struct{}{}
+	}
+	next[num] = struct{}{}
+	db.quarantine = next
+	db.stats.setQuarantined(int64(len(next)))
+	db.mu.Unlock()
+	db.opts.logf("lsm: table %s quarantined: %v", TableFileName(num), cause)
+	db.installMu.Lock()
+	aerr := db.man.append(&manifestRecord{Quarantined: []uint64{num}})
+	db.installMu.Unlock()
+	if aerr != nil {
+		// The quarantine could not be journaled: without it a reopen would
+		// silently serve the damaged table again, so fall back to the
+		// store-wide sticky degradation.
+		db.setBgErr(aerr)
+	}
+}
+
+// quarantinedLocked reports whether table num is quarantined. Called with
+// db.mu held (the compaction picker runs under mu).
+func (db *DB) quarantinedLocked(num uint64) bool {
+	_, q := db.quarantine[num]
+	return q
+}
+
+// anyQuarantinedLocked reports whether any listed table is quarantined.
+// Called with db.mu held.
+func (db *DB) anyQuarantinedLocked(tables []*TableMeta) bool {
+	for _, t := range tables {
+		if db.quarantinedLocked(t.Num) {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneQuarantineLocked drops quarantine entries for tables no longer in
+// the current version. Called with db.mu held (or single-threaded Open).
+func (db *DB) pruneQuarantineLocked() {
+	if len(db.quarantine) == 0 {
+		return
+	}
+	next := map[uint64]struct{}{}
+	v := db.vs.Current()
+	for l := range v.Levels {
+		for _, t := range v.Levels[l] {
+			if _, q := db.quarantine[t.Num]; q {
+				next[t.Num] = struct{}{}
+			}
+		}
+	}
+	db.quarantine = next
+	db.stats.setQuarantined(int64(len(next)))
+}
+
 // nudge wakes the background loop.
 func (db *DB) nudge() {
 	select {
@@ -543,6 +661,7 @@ func (db *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	mem, imm, v, snap := db.mem, db.imm, db.vs.Acquire(), db.visibleSeq.Load()
+	quar := db.quarantine // copy-on-write map: safe to read without mu
 	if seq != seqLatest {
 		snap = seq
 	}
@@ -578,9 +697,12 @@ func (db *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 		if !userInRange(key, t) {
 			continue
 		}
+		if _, q := quar[t.Num]; q {
+			return nil, &quarantinedError{num: t.Num}
+		}
 		val, deleted, ok, err := db.searchTable(t, key, search)
 		if err != nil {
-			return nil, db.noteReadError(err)
+			return nil, db.noteTableReadError(t.Num, err)
 		}
 		if ok {
 			if deleted {
@@ -598,9 +720,12 @@ func (db *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 		if idx == len(tables) || !userInRange(key, tables[idx]) {
 			continue
 		}
+		if _, q := quar[tables[idx].Num]; q {
+			return nil, &quarantinedError{num: tables[idx].Num}
+		}
 		val, deleted, ok, err := db.searchTable(tables[idx], key, search)
 		if err != nil {
-			return nil, db.noteReadError(err)
+			return nil, db.noteTableReadError(tables[idx].Num, err)
 		}
 		if ok {
 			if deleted {
@@ -710,6 +835,15 @@ func (db *DB) Metrics() *metrics.Registry {
 	db.reg.Gauge("lsm_background_retries").Set(s.BackgroundRetries)
 	db.reg.Gauge("lsm_background_errors").Set(s.BackgroundErrors)
 	db.reg.Gauge("lsm_corruptions_detected").Set(s.CorruptionsDetected)
+	// Integrity observability: scrub progress, paranoid verification, and the
+	// scoped-quarantine gauge (see scrub.go).
+	db.reg.Gauge("lsm_scrub_tables_verified").Set(s.ScrubTablesVerified)
+	db.reg.Gauge("lsm_scrub_bytes_verified").Set(s.ScrubBytesVerified)
+	db.reg.Gauge("lsm_scrub_cycles").Set(s.ScrubCycles)
+	db.reg.Gauge("lsm_scrub_corruptions").Set(s.ScrubCorruptions)
+	db.reg.Gauge("lsm_quarantined_tables").Set(s.QuarantinedTables)
+	db.reg.Gauge("lsm_paranoid_verifies").Set(s.ParanoidVerifies)
+	db.reg.Gauge("lsm_paranoid_rejections").Set(s.ParanoidRejections)
 	db.reg.Gauge("lsm_block_cache_hits").Set(s.BlockCacheHits)
 	db.reg.Gauge("lsm_block_cache_misses").Set(s.BlockCacheMisses)
 	db.reg.Gauge("lsm_block_cache_evictions").Set(s.BlockCacheEvictions)
@@ -847,8 +981,24 @@ func (db *DB) WaitIdle() error {
 // writeLevel0Table dumps a memtable into a new table file and returns its
 // metadata. (Unlike compaction outputs, a flush is always a single table,
 // like LevelDB.) With Options.PipelinedFlush it overlaps block building
-// with the writes.
+// with the writes. With Options.ParanoidChecks the finished table is
+// re-read and verified against its metadata before the caller may
+// reference it; a rejected output is deleted and the flush fails with a
+// retryable outputVerifyError.
 func (db *DB) writeLevel0Table(mem *memtable.Memtable) (*TableMeta, error) {
+	meta, err := db.buildLevel0Table(mem)
+	if err != nil || !db.opts.ParanoidChecks {
+		return meta, err
+	}
+	if verr := db.verifyOutput(meta); verr != nil {
+		db.fs.Remove(meta.FileName())
+		return nil, verr
+	}
+	return meta, nil
+}
+
+// buildLevel0Table is writeLevel0Table without the paranoid re-read.
+func (db *DB) buildLevel0Table(mem *memtable.Memtable) (*TableMeta, error) {
 	if db.opts.PipelinedFlush {
 		return db.writeLevel0TablePipelined(mem)
 	}
@@ -891,7 +1041,7 @@ func (db *DB) writeLevel0Table(mem *memtable.Memtable) (*TableMeta, error) {
 		return nil, err
 	}
 	return &TableMeta{Num: num, Size: tm.FileSize, Entries: tm.Entries,
-		Smallest: tm.Smallest, Largest: tm.Largest}, nil
+		Smallest: tm.Smallest, Largest: tm.Largest, Digest: tm.Digest}, nil
 }
 
 // flushMemtable writes imm to L0 and installs it.
@@ -1027,6 +1177,14 @@ func (db *DB) runCompaction(pc *pickedCompaction, claim *compactionClaim) error 
 	for _, t := range all {
 		h, err := db.cache.Get(t.Num)
 		if err != nil {
+			// Rot in an index or footer fails the open itself, before the
+			// merge reads a single block: quarantine the culprit here just as
+			// a mid-merge corruption would be attributed below.
+			if isCorruptionErr(err) {
+				db.stats.addCorruption()
+				db.quarantineTable(t.Num, err)
+				return &quarantineHandledError{err: err}
+			}
 			return err
 		}
 		handles = append(handles, h)
@@ -1108,7 +1266,17 @@ func (db *DB) runCompaction(pc *pickedCompaction, claim *compactionClaim) error 
 	}()
 	res, err := core.Run(cfg, sources, sink)
 	if err != nil {
-		return fmt.Errorf("lsm: compaction L%d→L%d: %w", pc.level, pc.level+1, err)
+		err = fmt.Errorf("lsm: compaction L%d→L%d: %w", pc.level, pc.level+1, err)
+		if isCorruptionErr(err) {
+			// Attribute the damage: re-verify each input table and quarantine
+			// the ones that fail. If a culprit is found the failure is handled
+			// in scope — the next pick skips the quarantined table — so the
+			// worker retries instead of degrading the whole store.
+			if db.quarantineCorruptInputs(all, err) > 0 {
+				return &quarantineHandledError{err: err}
+			}
+		}
+		return err
 	}
 
 	edit := NewVersionEdit()
@@ -1119,9 +1287,22 @@ func (db *DB) runCompaction(pc *pickedCompaction, claim *compactionClaim) error 
 			return perr
 		}
 		meta := &TableMeta{Num: num, Size: o.Meta.FileSize, Entries: o.Meta.Entries,
-			Smallest: o.Meta.Smallest, Largest: o.Meta.Largest}
+			Smallest: o.Meta.Smallest, Largest: o.Meta.Largest, Digest: o.Meta.Digest}
 		outMetas = append(outMetas, meta)
 		edit.AddTable(pc.level+1, meta)
+	}
+	if db.opts.ParanoidChecks {
+		// Verify-before-install: every output must re-read clean before the
+		// version edit references any of them. The inputs are still live, so
+		// a rejection discards the whole output set and retries the unit.
+		for _, meta := range outMetas {
+			if verr := db.verifyOutput(meta); verr != nil {
+				for _, m := range outMetas {
+					db.fs.Remove(m.FileName())
+				}
+				return verr
+			}
+		}
 	}
 	for _, t := range pc.inputs {
 		edit.DeleteTable(pc.level, t.Num)
@@ -1289,6 +1470,11 @@ func (db *DB) CompactRange(begin, end []byte) error {
 			pc := &pickedCompaction{level: level, inputs: inputs}
 			lo, hi := keyRange(pc.inputs)
 			pc.overlap = v.overlapping(level+1, lo, hi)
+			if db.anyQuarantinedLocked(pc.inputs) || db.anyQuarantinedLocked(pc.overlap) {
+				// Merging through a quarantined table would only re-read the
+				// damage; leave its slice of the range alone.
+				return nil
+			}
 			return pc
 		})
 		db.mu.Unlock()

@@ -36,6 +36,62 @@ var ErrBackgroundError = errors.New("lsm: background error, store is read-only")
 // failure in an SSTable or the WAL). It implies ErrBackgroundError.
 var ErrCorruption = errors.New("lsm: corruption detected")
 
+// ErrQuarantined marks a read whose key range is covered by a quarantined
+// table: one that failed integrity verification (scrub or a read trip) and
+// was isolated without degrading the rest of the store. Reads over other
+// ranges, and all writes, keep working. It matches ErrCorruption (the data
+// under it is corrupt) but NOT ErrBackgroundError — the store is not
+// read-only.
+var ErrQuarantined = errors.New("lsm: key range covered by quarantined table")
+
+// quarantinedError carries the offending table number; it matches
+// ErrQuarantined and ErrCorruption with errors.Is.
+type quarantinedError struct{ num uint64 }
+
+func (e *quarantinedError) Error() string {
+	return "lsm: key range covered by quarantined table " + TableFileName(e.num)
+}
+
+func (e *quarantinedError) Is(target error) bool {
+	return target == ErrQuarantined || target == ErrCorruption
+}
+
+// outputVerifyError marks a paranoid verify-before-install rejection: a
+// freshly written flush/compaction output failed re-verification before the
+// manifest referenced it. The inputs are intact and the output is deleted,
+// so the work is retryable like any transient failure — it must NOT be
+// classified as on-disk corruption even though the underlying cause is a
+// checksum or structural error in the (discarded) output file.
+type outputVerifyError struct{ err error }
+
+func (e *outputVerifyError) Error() string {
+	return "lsm: output failed verify-before-install: " + e.err.Error()
+}
+
+func (e *outputVerifyError) Unwrap() error { return e.err }
+
+func isOutputVerifyErr(err error) bool {
+	var ov *outputVerifyError
+	return errors.As(err, &ov)
+}
+
+// quarantineHandledError marks a background corruption failure whose
+// damaged table(s) were identified and quarantined in scope. The store
+// must NOT degrade to read-only: the next pick skips the quarantined
+// tables, so the worker treats the step like a transient failure.
+type quarantineHandledError struct{ err error }
+
+func (e *quarantineHandledError) Error() string {
+	return "lsm: corruption quarantined in scope: " + e.err.Error()
+}
+
+func (e *quarantineHandledError) Unwrap() error { return e.err }
+
+func isQuarantineHandledErr(err error) bool {
+	var qh *quarantineHandledError
+	return errors.As(err, &qh)
+}
+
 // backgroundError is the sticky error stored in db.bgErr. It matches
 // ErrBackgroundError always and ErrCorruption when corruption is set, while
 // unwrapping to the underlying cause for errors.Is on e.g. an injected

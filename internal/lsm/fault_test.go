@@ -285,11 +285,14 @@ func TestRetryBudgetExhaustionTurnsSticky(t *testing.T) {
 	}
 }
 
-// TestCorruptionDegradesToReadOnly: flipping bytes inside a table's data
-// block surfaces as ErrCorruption on reads of that block, counts in stats,
-// and flips the store to read-only — while reads of intact data keep
-// working.
-func TestCorruptionDegradesToReadOnly(t *testing.T) {
+// TestCorruptionQuarantinesTable: flipping bytes inside a table's data
+// block surfaces as ErrCorruption/ErrQuarantined on reads of that block,
+// counts in stats, and quarantines only the damaged table — reads of
+// intact data keep working and the store stays writable. (Before the
+// integrity subsystem this degraded the whole store to read-only; scoped
+// quarantine is the replacement, with read-only reserved for WAL and
+// manifest damage.)
+func TestCorruptionQuarantinesTable(t *testing.T) {
 	fs := storage.NewMemFS()
 	opts := smallOpts(fs)
 	opts.DisableAutoCompaction = true
@@ -297,9 +300,16 @@ func TestCorruptionDegradesToReadOnly(t *testing.T) {
 
 	const n = 400
 	key := func(i int) []byte { return []byte(fmt.Sprintf("ck%05d", i)) }
+	// Two flushes → two L0 tables with disjoint ranges (auto-compaction is
+	// off), so quarantining the damaged one leaves the other serving.
 	for i := 0; i < n; i++ {
 		if err := db.Put(key(i), make([]byte, 64)); err != nil {
 			t.Fatal(err)
+		}
+		if i == n/2-1 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if err := db.Flush(); err != nil {
@@ -347,8 +357,11 @@ func TestCorruptionDegradesToReadOnly(t *testing.T) {
 			goodKey = key(i)
 		case errors.Is(err, ErrCorruption):
 			sawCorruption = true
-			if !errors.Is(err, ErrBackgroundError) {
-				t.Fatalf("corruption error %v does not imply ErrBackgroundError", err)
+			if errors.Is(err, ErrBackgroundError) {
+				t.Fatalf("table corruption %v implies ErrBackgroundError; want scoped quarantine, not read-only", err)
+			}
+			if !errors.Is(err, ErrQuarantined) {
+				t.Fatalf("corruption error %v does not match ErrQuarantined", err)
 			}
 		case errors.Is(err, ErrNotFound):
 		default:
@@ -359,16 +372,21 @@ func TestCorruptionDegradesToReadOnly(t *testing.T) {
 		t.Fatal("no read surfaced ErrCorruption from the damaged block")
 	}
 	if goodKey == nil {
-		t.Fatal("corruption leaked beyond the damaged block: every read failed")
+		t.Fatal("corruption leaked beyond the damaged table: every read failed")
 	}
-	if got := db.Stats().CorruptionsDetected; got < 1 {
-		t.Fatalf("CorruptionsDetected = %d, want >= 1", got)
+	s := db.Stats()
+	if s.CorruptionsDetected < 1 {
+		t.Fatalf("CorruptionsDetected = %d, want >= 1", s.CorruptionsDetected)
 	}
-	if err := db.Put([]byte("nope"), []byte("v")); !errors.Is(err, ErrBackgroundError) {
-		t.Fatalf("Put on corrupt store = %v, want ErrBackgroundError", err)
+	if s.QuarantinedTables != 1 {
+		t.Fatalf("QuarantinedTables = %d, want 1", s.QuarantinedTables)
+	}
+	// The store stays writable: only the damaged table's range degrades.
+	if err := db.Put([]byte("still-writable"), []byte("v")); err != nil {
+		t.Fatalf("Put on quarantined store = %v, want success", err)
 	}
 	if _, err := db.Get(goodKey); err != nil {
-		t.Fatalf("intact key unreadable in read-only state: %v", err)
+		t.Fatalf("intact key unreadable with a table quarantined: %v", err)
 	}
 }
 

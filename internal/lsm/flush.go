@@ -128,5 +128,5 @@ func (db *DB) writeLevel0TablePipelined(mem *memtable.Memtable) (*TableMeta, err
 		return nil, werr
 	}
 	return &TableMeta{Num: num, Size: tm.FileSize, Entries: tm.Entries,
-		Smallest: tm.Smallest, Largest: tm.Largest}, nil
+		Smallest: tm.Smallest, Largest: tm.Largest, Digest: tm.Digest}, nil
 }

@@ -171,6 +171,29 @@ func (l *pipelineLease) widths() (compute, io int) {
 	return l.compute, l.io
 }
 
+// tryLeaseIO leases a single I/O token with no baseline overcommit. Unlike
+// acquire, a denial is possible: the background scrubber uses this so its
+// verification reads always yield to compaction and flush I/O — a scrub
+// pass is never urgent enough to oversubscribe the device.
+func (g *pipelineGovernor) tryLeaseIO() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ioLeased >= g.ioTotal {
+		return false
+	}
+	g.ioLeased++
+	g.publish()
+	return true
+}
+
+// returnIO gives back a token taken with tryLeaseIO.
+func (g *pipelineGovernor) returnIO() {
+	g.mu.Lock()
+	g.ioLeased--
+	g.publish()
+	g.mu.Unlock()
+}
+
 // publish mirrors the pool state into the live gauges. Called with g.mu held.
 func (g *pipelineGovernor) publish() {
 	g.gComputeLeased.Set(int64(g.computeLeased))

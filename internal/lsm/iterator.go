@@ -1,6 +1,8 @@
 package lsm
 
 import (
+	"bytes"
+
 	"pcplsm/internal/ikey"
 	"pcplsm/internal/sstable"
 )
@@ -37,14 +39,31 @@ func (a memIterAdapter) Key() []byte        { return a.it.Key() }
 func (a memIterAdapter) Value() []byte      { return a.it.Value() }
 func (a memIterAdapter) Err() error         { return nil }
 
+// quarRange is the user-key span of a quarantined table the scan must not
+// silently step over.
+type quarRange struct {
+	lo, hi []byte
+	num    uint64
+}
+
 // Iterator is a forward scan over the user-visible key space at a fixed
 // snapshot: one (newest) version per user key, tombstones elided.
 type Iterator struct {
 	db      *DB // for corruption classification on source errors
 	sources []internalIterator
+	srcNum  []uint64          // table number per source (0 = memtable)
 	readers []*sstable.Reader // owned table readers, closed on Close
 	titers  []*sstable.Iter   // table iterators, closed (prefetches drained) first
 	snap    uint64
+
+	// quar holds the ranges of quarantined tables in the snapshot. A scan
+	// whose window touches one fails with ErrQuarantined rather than
+	// emitting a view that silently omits the quarantined data. low is the
+	// scan window's lower bound (the Seek target); lowSet false means
+	// unbounded (First). See touchesQuarantine.
+	quar   []quarRange
+	low    []byte
+	lowSet bool
 
 	key, val []byte
 	skip     []byte // scratch for the just-emitted user key in Next
@@ -52,11 +71,15 @@ type Iterator struct {
 	err      error
 }
 
-// fail records a source error (classifying corruption via the DB) and
-// invalidates the iterator.
-func (it *Iterator) fail(err error) bool {
+// fail records a source error (classifying corruption via the DB, scoped
+// to the offending table when known) and invalidates the iterator.
+func (it *Iterator) fail(err error, num uint64) bool {
 	if it.db != nil {
-		err = it.db.noteReadError(err)
+		if num != 0 {
+			err = it.db.noteTableReadError(num, err)
+		} else {
+			err = it.db.noteReadError(err)
+		}
 	}
 	it.err = err
 	it.valid = false
@@ -76,6 +99,7 @@ func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
 		return nil, ErrClosed
 	}
 	mem, imm, v, snap := db.mem, db.imm, db.vs.Acquire(), db.visibleSeq.Load()
+	quar := db.quarantine // copy-on-write map: safe to read without mu
 	if seq != seqLatest {
 		snap = seq
 	}
@@ -91,30 +115,43 @@ func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
 
 	it := &Iterator{db: db, snap: snap}
 	it.sources = append(it.sources, memIterAdapter{it: mem.NewIter()})
+	it.srcNum = append(it.srcNum, 0)
 	if imm != nil {
 		it.sources = append(it.sources, memIterAdapter{it: imm.NewIter()})
+		it.srcNum = append(it.srcNum, 0)
 	}
 	// The iterator opens private readers so that compactions deleting input
 	// tables cannot invalidate it mid-scan (open handles outlive removal on
-	// every FS implementation).
+	// every FS implementation). Quarantined tables get no reader — their
+	// user-key ranges are recorded instead, and any scan window touching
+	// one fails with ErrQuarantined (see touchesQuarantine).
 	for level := 0; level < NumLevels; level++ {
 		for _, t := range v.Levels[level] {
+			if _, q := quar[t.Num]; q {
+				it.quar = append(it.quar, quarRange{
+					lo:  append([]byte(nil), ikey.UserKey(t.Smallest)...),
+					hi:  append([]byte(nil), ikey.UserKey(t.Largest)...),
+					num: t.Num,
+				})
+				continue
+			}
 			f, err := db.fs.Open(t.FileName())
 			if err != nil {
 				it.Close()
 				return nil, err
 			}
+			// NewReader owns f: on failure it closes the handle itself.
 			r, err := sstable.NewReader(f, ikey.Compare)
 			if err != nil {
-				f.Close()
 				it.Close()
-				return nil, db.noteReadError(err)
+				return nil, db.noteTableReadError(t.Num, err)
 			}
 			it.readers = append(it.readers, r)
 			ti := r.NewIter()
 			ti.SetReadahead(db.opts.ScanReadahead)
 			it.titers = append(it.titers, ti)
 			it.sources = append(it.sources, ti)
+			it.srcNum = append(it.srcNum, t.Num)
 		}
 	}
 	return it, nil
@@ -136,6 +173,7 @@ func (it *Iterator) Close() error {
 	}
 	it.readers = nil
 	it.sources = nil
+	it.srcNum = nil
 	it.valid = false
 	return first
 }
@@ -154,10 +192,11 @@ func (it *Iterator) Value() []byte { return it.val }
 
 // First positions at the smallest user key.
 func (it *Iterator) First() bool {
-	for _, s := range it.sources {
+	it.low, it.lowSet = nil, false
+	for i, s := range it.sources {
 		s.First()
 		if err := s.Err(); err != nil {
-			return it.fail(err)
+			return it.fail(err, it.srcNum[i])
 		}
 	}
 	return it.findNext(nil)
@@ -165,11 +204,13 @@ func (it *Iterator) First() bool {
 
 // Seek positions at the first user key >= target.
 func (it *Iterator) Seek(target []byte) bool {
+	it.low = append(it.low[:0], target...)
+	it.lowSet = true
 	sk := ikey.SearchKey(target, it.snap)
-	for _, s := range it.sources {
+	for i, s := range it.sources {
 		s.Seek(sk)
 		if err := s.Err(); err != nil {
-			return it.fail(err)
+			return it.fail(err, it.srcNum[i])
 		}
 	}
 	return it.findNext(nil)
@@ -206,6 +247,11 @@ func (it *Iterator) findNext(skipUser []byte) bool {
 	for {
 		i := it.minSource()
 		if i < 0 {
+			// Exhausted: the scan walked to the end of the key space, so it
+			// crossed every quarantined range at or beyond its start.
+			if r := it.touchesQuarantine(nil, true); r != nil {
+				return it.failQuarantined(r)
+			}
 			it.valid = false
 			return false
 		}
@@ -221,13 +267,45 @@ func (it *Iterator) findNext(skipUser []byte) bool {
 			skipUser = append(skipUser[:0], user...)
 			s.Next()
 		default:
+			// Emitting this key certifies every key in [low, user] was merged
+			// from all sources — impossible if a quarantined range sits in
+			// that window (its table has no source), so fail instead of
+			// silently omitting the quarantined data.
+			if r := it.touchesQuarantine(user, false); r != nil {
+				return it.failQuarantined(r)
+			}
 			it.key = append(it.key[:0], user...)
 			it.val = append(it.val[:0], s.Value()...)
 			it.valid = true
 			return true
 		}
 		if err := s.Err(); err != nil {
-			return it.fail(err)
+			return it.fail(err, it.srcNum[i])
 		}
 	}
+}
+
+// touchesQuarantine returns a quarantined range intersecting the scan
+// window [low, upper] (upperInf = unbounded above), or nil. Emitted keys
+// only grow, so checking the latest upper bound covers the whole scan: the
+// first touch fails the iterator permanently.
+func (it *Iterator) touchesQuarantine(upper []byte, upperInf bool) *quarRange {
+	for i := range it.quar {
+		r := &it.quar[i]
+		if it.lowSet && bytes.Compare(r.hi, it.low) < 0 {
+			continue // entirely below the scan window
+		}
+		if upperInf || bytes.Compare(r.lo, upper) <= 0 {
+			return r
+		}
+	}
+	return nil
+}
+
+// failQuarantined invalidates the iterator with a scoped ErrQuarantined.
+// The table was already quarantined, so no DB-level classification runs.
+func (it *Iterator) failQuarantined(r *quarRange) bool {
+	it.err = &quarantinedError{num: r.num}
+	it.valid = false
+	return false
 }

@@ -33,6 +33,15 @@ type manifestRecord struct {
 	// largest key compacted from that level), so file rotation resumes
 	// where it left off instead of resetting on every reopen.
 	CompactPtr map[int][]byte `json:"compact_ptr,omitempty"`
+	// Quarantined journals table numbers newly marked quarantined by a
+	// failed verification, so the scoped degradation survives reopen.
+	// Replay keeps the union of all quarantine records, intersected with
+	// the tables still live at the end.
+	Quarantined []uint64 `json:"quarantined,omitempty"`
+	// ScrubCursor checkpoints the background scrub worker's position (the
+	// last table number verified), so a cycle resumes where it left off
+	// instead of restarting from the lowest-numbered table on reopen.
+	ScrubCursor uint64 `json:"scrub_cursor,omitempty"`
 }
 
 // manifestTable is the JSON form of TableMeta.
@@ -42,6 +51,9 @@ type manifestTable struct {
 	Entries  int64  `json:"entries"`
 	Smallest []byte `json:"smallest"`
 	Largest  []byte `json:"largest"`
+	// Digest is the whole-file CRC32-C recorded at creation; 0 for tables
+	// journaled before digests existed.
+	Digest uint32 `json:"digest,omitempty"`
 }
 
 // manifest appends records durably.
@@ -141,7 +153,7 @@ func toManifestTables(ts []*TableMeta) []manifestTable {
 	out := make([]manifestTable, len(ts))
 	for i, t := range ts {
 		out[i] = manifestTable{Num: t.Num, Size: t.Size, Entries: t.Entries,
-			Smallest: t.Smallest, Largest: t.Largest}
+			Smallest: t.Smallest, Largest: t.Largest, Digest: t.Digest}
 	}
 	return out
 }
@@ -149,5 +161,5 @@ func toManifestTables(ts []*TableMeta) []manifestTable {
 // fromManifestTable converts back to a TableMeta.
 func fromManifestTable(t manifestTable) *TableMeta {
 	return &TableMeta{Num: t.Num, Size: t.Size, Entries: t.Entries,
-		Smallest: t.Smallest, Largest: t.Largest}
+		Smallest: t.Smallest, Largest: t.Largest, Digest: t.Digest}
 }

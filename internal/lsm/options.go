@@ -203,6 +203,31 @@ type Options struct {
 	// working; writes fail with ErrBackgroundError/ErrCorruption).
 	BackgroundRetry BackgroundRetryPolicy
 
+	// ParanoidChecks re-verifies every flush and compaction output before
+	// the version edit references it: the finished file is re-read from the
+	// device through a verifying reader and its entry count, key order,
+	// bounds and whole-file digest are compared against what the write
+	// stage produced. A mismatch discards the output and retries the unit
+	// (the inputs are still intact), so a pipeline bug, torn write, or
+	// lying device is caught before the manifest points at bad data. Off by
+	// default: it costs one extra read pass per background unit.
+	ParanoidChecks bool
+
+	// ScrubInterval enables the background integrity scrubber: the pause
+	// between verifying one table and the next while cycling over live
+	// tables (block checksums, key order, bounds, whole-file digest).
+	// A table that fails is quarantined (see ErrQuarantined) rather than
+	// degrading the whole store. 0 disables background scrubbing (the
+	// default — DB.Scrub still runs manual cycles); negative also disables.
+	ScrubInterval time.Duration
+
+	// ScrubBytesPerSec rate-limits scrub reads so verification cannot
+	// monopolize device bandwidth. 0 selects the default of 8 MiB/s; a
+	// negative value removes the limit. Each table additionally holds a
+	// governor I/O lease while being verified, so scrub reads compete with
+	// compactions under the same token accounting.
+	ScrubBytesPerSec int64
+
 	// Metrics, when set, receives the DB's live gauges (scheduler in-flight
 	// work, claimed bytes) and counters; nil gives the DB a private
 	// registry reachable via DB.Metrics().
@@ -281,6 +306,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BackgroundRetry.BaseDelay <= 0 {
 		o.BackgroundRetry.BaseDelay = 2 * time.Millisecond
+	}
+	if o.ScrubInterval < 0 {
+		o.ScrubInterval = 0
+	}
+	switch {
+	case o.ScrubBytesPerSec == 0:
+		o.ScrubBytesPerSec = 8 << 20
+	case o.ScrubBytesPerSec < 0:
+		o.ScrubBytesPerSec = 0
 	}
 	switch {
 	case o.BloomBitsPerKey == 0:

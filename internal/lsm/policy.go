@@ -68,6 +68,15 @@ type policyEnv struct {
 	free   func(level int) bool // levelPairFree: is the {L, L+1} pair unclaimed
 	cursor *[NumLevels][]byte   // per-level round-robin compaction cursors
 	heat   *cache.Heat          // nil without a block cache or with pre-warm disabled
+	// quarantined reports whether a table failed integrity verification and
+	// was isolated; the pickers skip such tables and refuse any pick whose
+	// overlap would merge through one. Nil means "nothing quarantined".
+	quarantined func(num uint64) bool
+}
+
+// isQuarantined is the nil-tolerant form of env.quarantined.
+func (env *policyEnv) isQuarantined(num uint64) bool {
+	return env.quarantined != nil && env.quarantined(num)
 }
 
 // newPolicy resolves a policy name to its implementation.
@@ -151,11 +160,21 @@ func chooseLevel(env *policyEnv, v *Version, scores [NumLevels]float64) int {
 
 // pickInputs assembles the inputs for a compaction at level: every L0 run
 // (they may overlap each other), or the single table of a deeper level
-// chosen by pickFile, plus the next level's overlap.
+// chosen by pickFile, plus the next level's overlap. A pick that would
+// read a quarantined table is refused: merging through one would only
+// re-read the damage (and fail the compaction), so its slice of the key
+// space stays frozen until the quarantine is lifted.
 func pickInputs(env *policyEnv, v *Version, level int,
 	pickFile func(env *policyEnv, v *Version, level int) *TableMeta) *pickedCompaction {
 	pc := &pickedCompaction{level: level}
 	if level == 0 {
+		// An L0 compaction takes every run; one quarantined run blocks them
+		// all (dropping just it would merge stale data over newer versions).
+		for _, t := range v.Levels[0] {
+			if env.isQuarantined(t.Num) {
+				return nil
+			}
+		}
 		pc.inputs = append(pc.inputs, v.Levels[0]...)
 	} else {
 		t := pickFile(env, v, level)
@@ -166,6 +185,11 @@ func pickInputs(env *policyEnv, v *Version, level int,
 	}
 	smallest, largest := keyRange(pc.inputs)
 	pc.overlap = v.overlapping(level+1, smallest, largest)
+	for _, t := range pc.overlap {
+		if env.isQuarantined(t.Num) {
+			return nil
+		}
+	}
 	return pc
 }
 
@@ -188,7 +212,14 @@ func cursorPick(env *policyEnv, v *Version, level int) *TableMeta {
 			idx = 0
 		}
 	}
-	return tables[idx]
+	// Rotate past quarantined tables so one frozen range does not stop the
+	// rest of the level from compacting.
+	for i := 0; i < len(tables); i++ {
+		if t := tables[(idx+i)%len(tables)]; !env.isQuarantined(t.Num) {
+			return t
+		}
+	}
+	return nil
 }
 
 // levelingPolicy is the default: normalized max-fullness triggers,
@@ -286,6 +317,9 @@ func coldestPick(env *policyEnv, v *Version, level int) *TableMeta {
 	}
 	for i := 0; i < len(tables); i++ {
 		t := tables[(idx+i)%len(tables)]
+		if env.isQuarantined(t.Num) {
+			continue
+		}
 		if !hot.AnyInRange(ikey.UserKey(t.Smallest), ikey.UserKey(t.Largest)) {
 			return t
 		}

@@ -151,9 +151,16 @@ func (db *DB) backgroundWorker() {
 // step, returning whether the worker should retry. Corruption and permanent
 // failures turn sticky immediately; transient I/O errors consume the
 // consecutive-failure budget (Options.BackgroundRetry.Max) with exponential
-// backoff before escalating.
+// backoff before escalating. Two corruption-adjacent classes stay in the
+// transient lane even though a checksum sentinel sits under them: a
+// verify-before-install rejection (the bad output was discarded, the
+// inputs are intact) and a corruption already quarantined in scope (the
+// next pick skips the isolated table). Both are checked before the
+// corruption branch — their unwrap chains would otherwise match it.
 func (db *DB) retryBackgroundError(err error) bool {
 	switch {
+	case isOutputVerifyErr(err), isQuarantineHandledErr(err):
+		// Retryable: handled below with the transient budget.
 	case isCorruptionErr(err):
 		db.stats.addCorruption()
 		db.setBgErr(&backgroundError{cause: err, corruption: true})

@@ -1,0 +1,444 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"pcplsm/internal/storage"
+)
+
+// scrubKey is the key layout shared by the scrub tests: two flushes produce
+// two L0 tables with disjoint ranges (keys 0..half-1 and half..n-1).
+func scrubKey(i int) []byte { return []byte(fmt.Sprintf("sk%05d", i)) }
+
+// fillTwoTables writes n keys as two flushed L0 tables with disjoint
+// ranges and returns n. Values are small enough that each flush stays
+// under smallOpts' TableSize and yields exactly one table.
+func fillTwoTables(t *testing.T, db *DB) int {
+	t.Helper()
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := db.Put(scrubKey(i), make([]byte, 16)); err != nil {
+			t.Fatal(err)
+		}
+		if i == n/2-1 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// lowestTable returns the name of the lowest-numbered .sst on fs — the
+// first flush's table, holding the lower half of the key space.
+func lowestTable(t *testing.T, fs storage.FS) string {
+	t.Helper()
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	for _, nm := range names {
+		if strings.HasSuffix(nm, ".sst") {
+			return nm
+		}
+	}
+	t.Fatal("no table on disk after flush")
+	return ""
+}
+
+// TestScrubCleanPass: a manual scrub over a healthy tree verifies every
+// table, quarantines nothing, and every table carries a recorded digest.
+func TestScrubCleanPass(t *testing.T) {
+	fs := storage.NewMemFS()
+	opts := smallOpts(fs)
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	fillTwoTables(t, db)
+	if err := db.CompactLevel(0); err != nil {
+		t.Fatal(err)
+	}
+
+	db.mu.Lock()
+	v := db.vs.Acquire()
+	db.mu.Unlock()
+	total := v.NumTables()
+	for l := range v.Levels {
+		for _, tm := range v.Levels[l] {
+			if tm.Digest == 0 {
+				t.Errorf("table %s has no recorded digest", tm.FileName())
+			}
+		}
+	}
+	db.vs.Release(v)
+	if total == 0 {
+		t.Fatal("no live tables after compaction")
+	}
+
+	rep, err := db.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified != total || rep.Corruptions != 0 || rep.Skipped != 0 {
+		t.Fatalf("clean scrub: verified=%d corruptions=%d skipped=%d, want %d/0/0",
+			rep.Verified, rep.Corruptions, rep.Skipped, total)
+	}
+	if rep.Bytes == 0 {
+		t.Fatal("clean scrub verified 0 bytes")
+	}
+	s := db.Stats()
+	if s.ScrubTablesVerified < int64(total) || s.ScrubBytesVerified == 0 || s.ScrubCycles < 1 {
+		t.Fatalf("scrub stats not recorded: %+v", s)
+	}
+	if s.QuarantinedTables != 0 || s.ScrubCorruptions != 0 {
+		t.Fatalf("clean tree shows quarantine: %+v", s)
+	}
+}
+
+// TestScrubDetectsRotAndQuarantines: seeded at-rest bit-rot in one table is
+// caught by a manual scrub; only that table is quarantined — its range
+// fails with ErrQuarantined, the other half and writes keep working — and
+// the quarantine plus scrub cursor survive reopen.
+func TestScrubDetectsRotAndQuarantines(t *testing.T) {
+	inner := storage.NewMemFS()
+	fault := storage.NewSeededFaultFS(inner, 42)
+	opts := smallOpts(fault)
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	n := fillTwoTables(t, db)
+
+	sst := lowestTable(t, fault)
+	if _, err := fault.RotBytes(sst, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := db.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corruptions != 1 {
+		t.Fatalf("scrub over rotted table found %d corruptions, want 1; report %+v", rep.Corruptions, rep)
+	}
+	var quarantined int
+	for _, r := range rep.Tables {
+		if r.Quarantined {
+			quarantined++
+			if TableFileName(r.Num) != sst {
+				t.Fatalf("scrub quarantined %s, rot was injected into %s", TableFileName(r.Num), sst)
+			}
+		}
+	}
+	if quarantined != 1 {
+		t.Fatalf("report marks %d tables quarantined, want 1", quarantined)
+	}
+	if s := db.Stats(); s.QuarantinedTables != 1 || s.ScrubCorruptions != 1 {
+		t.Fatalf("stats after rot scrub: %+v", s)
+	}
+
+	// Scoped degradation: the rotted table's range fails typed, the rest of
+	// the key space and the write path keep working.
+	checkScoped := func(db *DB) {
+		t.Helper()
+		for _, i := range []int{0, n/2 - 1} {
+			if _, err := db.Get(scrubKey(i)); !errors.Is(err, ErrQuarantined) {
+				t.Fatalf("Get(%s) over quarantined range: err=%v, want ErrQuarantined", scrubKey(i), err)
+			} else if errors.Is(err, ErrBackgroundError) {
+				t.Fatalf("quarantine error %v implies ErrBackgroundError (store-wide degradation)", err)
+			}
+		}
+		for _, i := range []int{n / 2, n - 1} {
+			if _, err := db.Get(scrubKey(i)); err != nil {
+				t.Fatalf("Get(%s) outside quarantined range: %v", scrubKey(i), err)
+			}
+		}
+		if err := db.Put([]byte("post-rot"), []byte("v")); err != nil {
+			t.Fatalf("store not writable after scoped quarantine: %v", err)
+		}
+	}
+	checkScoped(db)
+
+	// A second pass skips the quarantined table instead of re-reading it.
+	rep2, err := db.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Skipped != 1 || rep2.Corruptions != 0 {
+		t.Fatalf("second scrub: skipped=%d corruptions=%d, want 1/0", rep2.Skipped, rep2.Corruptions)
+	}
+
+	db.mu.Lock()
+	cursor := db.scrubCursor
+	db.mu.Unlock()
+	if cursor == 0 {
+		t.Fatal("scrub cursor not advanced")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The quarantine and the cursor are manifest state: both survive reopen.
+	db = mustOpen(t, opts)
+	defer db.Close()
+	if s := db.Stats(); s.QuarantinedTables != 1 {
+		t.Fatalf("QuarantinedTables after reopen = %d, want 1", s.QuarantinedTables)
+	}
+	db.mu.Lock()
+	recovered := db.scrubCursor
+	db.mu.Unlock()
+	if recovered != cursor {
+		t.Fatalf("scrub cursor after reopen = %d, want %d", recovered, cursor)
+	}
+	checkScoped(db)
+}
+
+// TestScrubBackgroundWorkerDetectsRot: the background scrub loop — governed,
+// rate-limited, no manual Scrub call — finds injected rot within one cycle.
+func TestScrubBackgroundWorkerDetectsRot(t *testing.T) {
+	inner := storage.NewMemFS()
+	fault := storage.NewSeededFaultFS(inner, 7)
+	opts := smallOpts(fault)
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	fillTwoTables(t, db)
+	sst := lowestTable(t, fault)
+	if _, err := fault.RotBytes(sst, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.ScrubInterval = 1 // aggressive cycle for the test
+	opts.ScrubBytesPerSec = -1
+	db = mustOpen(t, opts)
+	defer db.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Stats().QuarantinedTables == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background scrub never quarantined the rotted table")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := db.Stats(); s.ScrubCorruptions != 1 || s.QuarantinedTables != 1 {
+		t.Fatalf("background scrub stats: %+v", s)
+	}
+}
+
+// TestParanoidChecksRejectGarbledOutput: with ParanoidChecks on, a lying
+// device that silently flips a bit in a flush output gets caught by the
+// verify-before-install pass — the output is discarded before the manifest
+// references it and the retried flush succeeds with clean data.
+func TestParanoidChecksRejectGarbledOutput(t *testing.T) {
+	inner := storage.NewMemFS()
+	fault := storage.NewFaultFS(inner)
+	opts := smallOpts(fault)
+	opts.DisableAutoCompaction = true
+	opts.ParanoidChecks = true
+	opts.BackgroundRetry = fastRetry()
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	for i := 0; i < 200; i++ {
+		if err := db.Put(scrubKey(i), make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One write to the next .sst silently persists a flipped bit.
+	fault.ArmFault(storage.Fault{Op: storage.FaultWrite, Suffix: ".sst", N: 1, Garble: true})
+	if err := db.Flush(); err != nil {
+		t.Fatalf("flush with one garbled output attempt: %v", err)
+	}
+
+	s := db.Stats()
+	if s.ParanoidRejections < 1 {
+		t.Fatalf("ParanoidRejections = %d, want >= 1 (garbled output not caught)", s.ParanoidRejections)
+	}
+	if s.ParanoidVerifies < 2 {
+		t.Fatalf("ParanoidVerifies = %d, want >= 2 (reject + clean retry)", s.ParanoidVerifies)
+	}
+	if s.QuarantinedTables != 0 {
+		t.Fatalf("verify-before-install quarantined a live table: %+v", s)
+	}
+	// The manifest must only reference the clean retry: a full scrub of the
+	// installed tree finds nothing.
+	rep, err := db.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corruptions != 0 {
+		t.Fatalf("scrub after paranoid reject found %d corruptions: %+v", rep.Corruptions, rep)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Get(scrubKey(i)); err != nil {
+			t.Fatalf("Get(%s) after paranoid retry: %v", scrubKey(i), err)
+		}
+	}
+}
+
+// TestCompactionQuarantinesRottedInput: a compaction whose input table rots
+// at rest attributes the corruption to that table, quarantines it in scope,
+// and leaves the store writable — no sticky background error.
+func TestCompactionQuarantinesRottedInput(t *testing.T) {
+	inner := storage.NewMemFS()
+	fault := storage.NewSeededFaultFS(inner, 11)
+	opts := smallOpts(fault)
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	n := fillTwoTables(t, db)
+	sst := lowestTable(t, fault)
+	if _, err := fault.RotBytes(sst, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen so the table cache holds no pre-rot handle (an open MemFS
+	// handle keeps serving the healthy bytes, like a populated page cache).
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db = mustOpen(t, opts)
+	defer db.Close()
+
+	err := db.CompactLevel(0)
+	if err == nil {
+		t.Fatal("compaction over rotted input reported success")
+	}
+	if !isQuarantineHandledErr(err) || !isCorruptionErr(err) {
+		t.Fatalf("compaction error %v is not an in-scope quarantined corruption", err)
+	}
+	if errors.Is(err, ErrBackgroundError) {
+		t.Fatalf("compaction error %v implies ErrBackgroundError (store-wide degradation)", err)
+	}
+	if s := db.Stats(); s.QuarantinedTables != 1 {
+		t.Fatalf("QuarantinedTables after rotted compaction = %d, want 1", s.QuarantinedTables)
+	}
+	// Scoped, not sticky: the intact half serves and writes proceed.
+	if _, err := db.Get(scrubKey(n - 1)); err != nil {
+		t.Fatalf("Get outside rotted range after compaction failure: %v", err)
+	}
+	if err := db.Put([]byte("after-rot"), []byte("v")); err != nil {
+		t.Fatalf("store degraded to read-only, want scoped quarantine: %v", err)
+	}
+	// With the culprit out of the run, the retried compaction succeeds on
+	// the remaining table.
+	if err := db.CompactLevel(0); err != nil {
+		t.Fatalf("compaction retry after quarantine: %v", err)
+	}
+}
+
+// TestIteratorFailsOverQuarantinedRange: a scan refuses to silently omit a
+// quarantined table's keys — windows touching the range fail with
+// ErrQuarantined, windows past it scan normally.
+func TestIteratorFailsOverQuarantinedRange(t *testing.T) {
+	fs := storage.NewMemFS()
+	opts := smallOpts(fs)
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	defer db.Close()
+	n := fillTwoTables(t, db)
+
+	// Quarantine the first table (lower half of the key space) directly.
+	db.mu.Lock()
+	v := db.vs.Acquire()
+	db.mu.Unlock()
+	var lowNum uint64
+	for l := range v.Levels {
+		for _, tm := range v.Levels[l] {
+			if lowNum == 0 || tm.Num < lowNum {
+				lowNum = tm.Num
+			}
+		}
+	}
+	db.vs.Release(v)
+	db.quarantineTable(lowNum, errors.New("test quarantine"))
+
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if it.First() {
+		t.Fatal("First over a quarantined range emitted a key")
+	}
+	if !errors.Is(it.Err(), ErrQuarantined) {
+		t.Fatalf("First err = %v, want ErrQuarantined", it.Err())
+	}
+
+	// A fresh scan starting past the quarantined range works end to end.
+	it2, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it2.Close()
+	count := 0
+	for ok := it2.Seek(scrubKey(n / 2)); ok; ok = it2.Next() {
+		count++
+	}
+	if err := it2.Err(); err != nil {
+		t.Fatalf("scan past quarantined range: %v", err)
+	}
+	if count != n/2 {
+		t.Fatalf("scan past quarantined range saw %d keys, want %d", count, n/2)
+	}
+
+	// A seek into the quarantined range fails on its first emission.
+	it3, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it3.Close()
+	if it3.Seek(scrubKey(10)) {
+		t.Fatal("Seek into a quarantined range emitted a key")
+	}
+	if !errors.Is(it3.Err(), ErrQuarantined) {
+		t.Fatalf("Seek err = %v, want ErrQuarantined", it3.Err())
+	}
+}
+
+// TestPolicySkipsQuarantinedTables: the compaction picker refuses to touch a
+// quarantined table — CompactLevel over an L0 containing one is a no-op
+// instead of merging damaged data downward.
+func TestPolicySkipsQuarantinedTables(t *testing.T) {
+	fs := storage.NewMemFS()
+	opts := smallOpts(fs)
+	opts.DisableAutoCompaction = true
+	db := mustOpen(t, opts)
+	defer db.Close()
+	fillTwoTables(t, db)
+
+	db.mu.Lock()
+	v := db.vs.Acquire()
+	db.mu.Unlock()
+	var lowNum uint64
+	l0Before := len(v.Levels[0])
+	for _, tm := range v.Levels[0] {
+		if lowNum == 0 || tm.Num < lowNum {
+			lowNum = tm.Num
+		}
+	}
+	db.vs.Release(v)
+	if l0Before != 2 {
+		t.Fatalf("setup: L0 holds %d tables, want 2", l0Before)
+	}
+	db.quarantineTable(lowNum, errors.New("test quarantine"))
+
+	if err := db.CompactLevel(0); err != nil {
+		t.Fatalf("CompactLevel over quarantined L0: %v", err)
+	}
+	db.mu.Lock()
+	v = db.vs.Acquire()
+	db.mu.Unlock()
+	l0After := len(v.Levels[0])
+	db.vs.Release(v)
+	if l0After != l0Before {
+		t.Fatalf("picker compacted an L0 containing a quarantined table: %d -> %d tables", l0Before, l0After)
+	}
+}

@@ -114,6 +114,22 @@ type Stats struct {
 	BackgroundErrors    int64
 	CorruptionsDetected int64
 
+	// Integrity-subsystem counters. ScrubTablesVerified/ScrubBytesVerified
+	// total the tables and physical bytes the scrubber has read back and
+	// checked; ScrubCycles counts completed passes over the whole tree;
+	// ScrubCorruptions counts tables a scrub found damaged (each was
+	// quarantined). QuarantinedTables is the number of tables currently
+	// quarantined (a gauge, not cumulative). ParanoidVerifies counts
+	// verify-before-install passes over fresh flush/compaction outputs and
+	// ParanoidRejections the outputs those passes discarded.
+	ScrubTablesVerified int64
+	ScrubBytesVerified  int64
+	ScrubCycles         int64
+	ScrubCorruptions    int64
+	QuarantinedTables   int64
+	ParanoidVerifies    int64
+	ParanoidRejections  int64
+
 	// LastCompaction holds the most recent compaction's full statistics
 	// (including its Pipeline block: worker counts, resizes, queue
 	// high-water marks).
@@ -196,6 +212,14 @@ type statsCollector struct {
 	bgErrors    atomic.Int64
 	corruptions atomic.Int64
 
+	scrubTables      atomic.Int64
+	scrubBytes       atomic.Int64
+	scrubCycles      atomic.Int64
+	scrubCorruptions atomic.Int64
+	quarantined      atomic.Int64
+	paranoidVerifies atomic.Int64
+	paranoidRejects  atomic.Int64
+
 	governorGrows   atomic.Int64
 	governorShrinks atomic.Int64
 	governorDenials atomic.Int64
@@ -223,6 +247,22 @@ func (c *statsCollector) addFilterSkip() { c.filterSkips.Add(1) }
 func (c *statsCollector) addBackgroundRetry() { c.bgRetries.Add(1) }
 func (c *statsCollector) addBackgroundError() { c.bgErrors.Add(1) }
 func (c *statsCollector) addCorruption()      { c.corruptions.Add(1) }
+
+// addScrubbedTable records one table verified by a scrub (bytes of physical
+// file image read back).
+func (c *statsCollector) addScrubbedTable(bytes int64) {
+	c.scrubTables.Add(1)
+	c.scrubBytes.Add(bytes)
+}
+
+func (c *statsCollector) addScrubCycle()      { c.scrubCycles.Add(1) }
+func (c *statsCollector) addScrubCorruption() { c.scrubCorruptions.Add(1) }
+
+// setQuarantined publishes the current quarantined-table count.
+func (c *statsCollector) setQuarantined(n int64) { c.quarantined.Store(n) }
+
+func (c *statsCollector) addParanoidVerify() { c.paranoidVerifies.Add(1) }
+func (c *statsCollector) addParanoidReject() { c.paranoidRejects.Add(1) }
 
 func (c *statsCollector) addGovernorGrow()   { c.governorGrows.Add(1) }
 func (c *statsCollector) addGovernorShrink() { c.governorShrinks.Add(1) }
@@ -318,6 +358,13 @@ func (c *statsCollector) snapshot() Stats {
 	s.BackgroundRetries = c.bgRetries.Load()
 	s.BackgroundErrors = c.bgErrors.Load()
 	s.CorruptionsDetected = c.corruptions.Load()
+	s.ScrubTablesVerified = c.scrubTables.Load()
+	s.ScrubBytesVerified = c.scrubBytes.Load()
+	s.ScrubCycles = c.scrubCycles.Load()
+	s.ScrubCorruptions = c.scrubCorruptions.Load()
+	s.QuarantinedTables = c.quarantined.Load()
+	s.ParanoidVerifies = c.paranoidVerifies.Load()
+	s.ParanoidRejections = c.paranoidRejects.Load()
 	s.GovernorGrows = c.governorGrows.Load()
 	s.GovernorShrinks = c.governorShrinks.Load()
 	s.GovernorDenials = c.governorDenials.Load()

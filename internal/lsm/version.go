@@ -32,6 +32,12 @@ type TableMeta struct {
 	Entries  int64
 	Smallest []byte // internal keys
 	Largest  []byte
+	// Digest is the CRC32-C of the whole file image, recorded in the
+	// manifest when the table is created (flushes and compaction outputs;
+	// trivial moves carry it forward). The scrub worker and paranoid
+	// verify-before-install recompute it from the device and compare.
+	// 0 means "unknown" — tables journaled before digests existed.
+	Digest uint32
 }
 
 // FileName returns the table's file name.
@@ -333,9 +339,9 @@ func (c *tableCache) Get(num uint64) (tableHandle, error) {
 	if err != nil {
 		return tableHandle{}, err
 	}
+	// NewReader owns f: on failure it closes the handle itself.
 	r, err := sstable.NewReader(f, ikey.Compare)
 	if err != nil {
-		f.Close()
 		return tableHandle{}, err
 	}
 	if c.blocks != nil {

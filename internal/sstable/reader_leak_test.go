@@ -1,0 +1,123 @@
+package sstable
+
+import (
+	"errors"
+	"testing"
+
+	"pcplsm/internal/storage"
+)
+
+// closeCountingFile wraps a storage.File and counts Close calls, so tests
+// can prove NewReader neither leaks nor double-closes the handle it owns.
+type closeCountingFile struct {
+	storage.File
+	closes *int
+}
+
+func (f *closeCountingFile) Close() error {
+	*f.closes++
+	return f.File.Close()
+}
+
+// TestNewReaderClosesHandleOnFailure: NewReader owns the handle it is
+// given; every early-return path — an injected read fault at any of the
+// reads open performs, a truncated file, a corrupted footer — must close
+// it exactly once. A leaked handle here pins the file (and its memory on
+// MemFS) for the life of the process every time a scrub, iterator, or
+// verify pass trips over a damaged table.
+func TestNewReaderClosesHandleOnFailure(t *testing.T) {
+	inner := storage.NewMemFS()
+	kvs := genKVs(500, 64, 7)
+	buildTable(t, inner, "t", WriterOptions{BlockSize: 512}, kvs)
+
+	// Probe every read NewReader performs: arm a one-shot fault at read
+	// N = 1, 2, ... until open succeeds without tripping one.
+	fault := storage.NewFaultFS(inner)
+	failures := 0
+	for n := 1; ; n++ {
+		fault.ArmFault(storage.Fault{Op: storage.FaultRead, N: n})
+		f, err := fault.Open("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		closes := 0
+		r, rerr := NewReader(&closeCountingFile{File: f, closes: &closes}, nil)
+		if rerr == nil {
+			r.Close()
+			if hits := fault.Hits(storage.FaultRead); hits != 0 {
+				t.Fatalf("read %d: open succeeded but the armed fault fired %d times", n, hits)
+			}
+			break
+		}
+		failures++
+		if !errors.Is(rerr, storage.ErrInjected) {
+			t.Fatalf("read %d: error %v does not wrap the injected fault", n, rerr)
+		}
+		if closes != 1 {
+			t.Fatalf("read %d failed: handle closed %d times, want exactly 1", n, closes)
+		}
+		fault.Disarm(storage.FaultRead)
+	}
+	if failures == 0 {
+		t.Fatal("fault plan never fired: NewReader performed no reads?")
+	}
+
+	// Structural failures (no injected I/O error): truncated file and a
+	// corrupted footer must also close the handle.
+	data, err := storage.ReadAll(inner, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		if err := storage.WriteFile(inner, name, mutate(append([]byte(nil), data...))); err != nil {
+			t.Fatal(err)
+		}
+		f, err := inner.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closes := 0
+		if r, rerr := NewReader(&closeCountingFile{File: f, closes: &closes}, nil); rerr == nil {
+			r.Close()
+			t.Fatalf("%s: NewReader accepted a damaged table", name)
+		}
+		if closes != 1 {
+			t.Fatalf("%s: handle closed %d times, want exactly 1", name, closes)
+		}
+	}
+	corrupt("truncated", func(b []byte) []byte { return b[:FooterLen/2] })
+	corrupt("bad-footer", func(b []byte) []byte {
+		for i := len(b) - FooterLen; i < len(b); i++ {
+			b[i] ^= 0xff
+		}
+		return b
+	})
+	corrupt("bad-index", func(b []byte) []byte {
+		// Damage the bytes just ahead of the footer: the index block.
+		for i := len(b) - FooterLen - 32; i < len(b)-FooterLen; i++ {
+			b[i] ^= 0xff
+		}
+		return b
+	})
+
+	// And the success path closes exactly once, via Reader.Close.
+	f, err := inner.Open("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closes := 0
+	r, err := NewReader(&closeCountingFile{File: f, closes: &closes}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closes != 0 {
+		t.Fatalf("NewReader closed the handle %d times on success", closes)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if closes != 1 {
+		t.Fatalf("Reader.Close closed the handle %d times, want 1", closes)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"pcplsm/internal/block"
 	"pcplsm/internal/bloom"
+	"pcplsm/internal/checksum"
 	"pcplsm/internal/compress"
 	"pcplsm/internal/storage"
 )
@@ -49,6 +50,12 @@ type TableMeta struct {
 	FileSize   int64
 	Smallest   []byte // first key in the table
 	Largest    []byte // last key in the table
+	// Digest is the CRC32-C of the complete file image (every byte from
+	// offset 0 through the footer), accumulated incrementally as the writer
+	// lands bytes — no extra read pass. Scrubbing and verify-before-install
+	// recompute it from the file and compare. 0 means "unknown" (tables
+	// written before digests existed).
+	Digest uint32
 }
 
 // RawWriter appends pre-sealed physical blocks to a table file and builds
@@ -57,6 +64,7 @@ type TableMeta struct {
 type RawWriter struct {
 	f        storage.File
 	off      int64
+	digest   uint32 // running CRC32-C over every byte written so far
 	index    *block.Builder
 	meta     TableMeta
 	finished bool
@@ -98,6 +106,7 @@ func (w *RawWriter) AddSealedBlock(firstKey, lastKey, physical []byte, entries i
 	if _, err := w.f.Write(physical); err != nil {
 		return err
 	}
+	w.digest = checksum.SumWithSeed(w.digest, physical)
 	h := BlockHandle{Offset: w.off, Length: int64(len(physical))}
 	w.index.Add(lastKey, h.EncodeTo(nil))
 	w.off += int64(len(physical))
@@ -129,6 +138,7 @@ func (w *RawWriter) Finish() (TableMeta, error) {
 		if _, err := w.f.Write(physical); err != nil {
 			return TableMeta{}, err
 		}
+		w.digest = checksum.SumWithSeed(w.digest, physical)
 		filterHandle = BlockHandle{Offset: w.off, Length: int64(len(physical))}
 		w.off += int64(len(physical))
 	}
@@ -138,17 +148,20 @@ func (w *RawWriter) Finish() (TableMeta, error) {
 	if _, err := w.f.Write(physical); err != nil {
 		return TableMeta{}, err
 	}
+	w.digest = checksum.SumWithSeed(w.digest, physical)
 	indexHandle := BlockHandle{Offset: w.off, Length: int64(len(physical))}
 	w.off += int64(len(physical))
 	footer := encodeFooter(indexHandle, filterHandle)
 	if _, err := w.f.Write(footer); err != nil {
 		return TableMeta{}, err
 	}
+	w.digest = checksum.SumWithSeed(w.digest, footer)
 	w.off += int64(len(footer))
 	if err := w.f.Sync(); err != nil {
 		return TableMeta{}, err
 	}
 	w.meta.FileSize = w.off
+	w.meta.Digest = w.digest
 	return w.meta, nil
 }
 

@@ -83,6 +83,11 @@ type Fault struct {
 	// Torn makes a failing write persist a seeded prefix of its payload
 	// before reporting the error.
 	Torn bool
+	// Garble makes a write SUCCEED while silently flipping one seeded bit
+	// of its payload on the way to the device — the lying-device fault that
+	// only an end-to-end verification (paranoid checks, scrubbing) can
+	// catch, since the write path observes no error at all.
+	Garble bool
 	// Cut turns the fault into a power cut: the file system goes down and
 	// every operation from this one on fails with ErrPowerCut.
 	Cut bool
@@ -194,16 +199,17 @@ func (f *FaultFS) tornLen(n int) int {
 
 // check runs the fault plan for one operation, returning a non-nil error
 // when a fault fires. tornPrefix is the number of payload bytes a torn
-// write should persist before failing (0 otherwise).
-func (f *FaultFS) check(op FaultOp, name string, payloadLen int) (tornPrefix int, err error) {
+// write should persist before failing (0 otherwise); garble reports that a
+// write should succeed with one seeded bit of its payload flipped.
+func (f *FaultFS) check(op FaultOp, name string, payloadLen int) (tornPrefix int, garble bool, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.checkLocked(op, name, payloadLen)
 }
 
-func (f *FaultFS) checkLocked(op FaultOp, name string, payloadLen int) (tornPrefix int, err error) {
+func (f *FaultFS) checkLocked(op FaultOp, name string, payloadLen int) (tornPrefix int, garble bool, err error) {
 	if f.down {
-		return 0, ErrPowerCut
+		return 0, false, ErrPowerCut
 	}
 	f.ops[op]++
 	for _, st := range f.armed {
@@ -220,18 +226,21 @@ func (f *FaultFS) checkLocked(op FaultOp, name string, payloadLen int) (tornPref
 		st.hits++
 		if st.Cut {
 			f.down = true
-			return 0, ErrPowerCut
+			return 0, false, ErrPowerCut
+		}
+		if st.Garble && op == FaultWrite {
+			return 0, true, nil
 		}
 		ferr := st.Err
 		if ferr == nil {
 			ferr = ErrInjected
 		}
 		if st.Torn && op == FaultWrite {
-			return f.tornLen(payloadLen), ferr
+			return f.tornLen(payloadLen), false, ferr
 		}
-		return 0, ferr
+		return 0, false, ferr
 	}
-	return 0, nil
+	return 0, false, nil
 }
 
 func hasSuffix(s, suffix string) bool {
@@ -240,7 +249,7 @@ func hasSuffix(s, suffix string) bool {
 
 // Create implements FS.
 func (f *FaultFS) Create(name string) (File, error) {
-	if _, err := f.check(FaultCreate, name, 0); err != nil {
+	if _, _, err := f.check(FaultCreate, name, 0); err != nil {
 		return nil, err
 	}
 	file, err := f.inner.Create(name)
@@ -256,7 +265,7 @@ func (f *FaultFS) Create(name string) (File, error) {
 
 // Open implements FS.
 func (f *FaultFS) Open(name string) (File, error) {
-	if _, err := f.check(FaultOpen, name, 0); err != nil {
+	if _, _, err := f.check(FaultOpen, name, 0); err != nil {
 		return nil, err
 	}
 	file, err := f.inner.Open(name)
@@ -282,7 +291,7 @@ func (f *FaultFS) Open(name string) (File, error) {
 
 // Remove implements FS.
 func (f *FaultFS) Remove(name string) error {
-	if _, err := f.check(FaultRemove, name, 0); err != nil {
+	if _, _, err := f.check(FaultRemove, name, 0); err != nil {
 		return err
 	}
 	if err := f.inner.Remove(name); err != nil {
@@ -298,7 +307,7 @@ func (f *FaultFS) Remove(name string) error {
 // file system: once a rename returns it is durable and ordered, but file
 // contents still require Sync.
 func (f *FaultFS) Rename(oldname, newname string) error {
-	if _, err := f.check(FaultRename, oldname, 0); err != nil {
+	if _, _, err := f.check(FaultRename, oldname, 0); err != nil {
 		return err
 	}
 	if err := f.inner.Rename(oldname, newname); err != nil {
@@ -335,6 +344,54 @@ func (f *FaultFS) Size(name string) (int64, error) {
 		return 0, ErrPowerCut
 	}
 	return f.inner.Size(name)
+}
+
+// RotBytes injects at-rest bit-rot: it flips one seeded bit in each of n
+// distinct random bytes of the named file's durable image, modelling media
+// decay that no write path ever observed (the file's size, sync state, and
+// every open handle's view of the old bytes are untouched — like a real
+// disk, already-cached reads keep serving the healthy data while fresh
+// reads see the rot). Only the synced prefix is eligible: unsynced bytes
+// are still in the "page cache", where rot does not land. Returns the
+// affected byte offsets.
+func (f *FaultFS) RotBytes(name string, n int) ([]int64, error) {
+	data, err := ReadAll(f.inner, name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	window := int64(len(data))
+	if meta, ok := f.files[name]; ok && meta.synced < window {
+		window = meta.synced
+	}
+	if window <= 0 {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("storage: no durable bytes in %s to rot", name)
+	}
+	if int64(n) > window {
+		n = int(window)
+	}
+	offsets := make([]int64, 0, n)
+	seen := map[int64]bool{}
+	for len(offsets) < n {
+		off := f.rng.Int63n(window)
+		if seen[off] {
+			continue
+		}
+		seen[off] = true
+		data[off] ^= 1 << f.rng.Intn(8)
+		offsets = append(offsets, off)
+	}
+	f.mu.Unlock()
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	// Rewrite through a temp file + rename on the inner FS so the injection
+	// bypasses the fault plan and the durability bookkeeping: the file's
+	// tracked size and synced prefix are unchanged, exactly as if the
+	// medium itself decayed.
+	if err := WriteFile(f.inner, name, data); err != nil {
+		return nil, err
+	}
+	return offsets, nil
 }
 
 // CrashImage renders the durable state after a power cut (or at any
@@ -409,14 +466,14 @@ type faultFile struct {
 }
 
 func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	if _, err := f.fs.check(FaultRead, f.name, 0); err != nil {
+	if _, _, err := f.fs.check(FaultRead, f.name, 0); err != nil {
 		return 0, err
 	}
 	return f.inner.ReadAt(p, off)
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
-	torn, err := f.fs.check(FaultWrite, f.name, len(p))
+	torn, garble, err := f.fs.check(FaultWrite, f.name, len(p))
 	if err != nil {
 		if torn > 0 {
 			if n, werr := f.inner.Write(p[:torn]); werr == nil {
@@ -426,6 +483,15 @@ func (f *faultFile) Write(p []byte) (int, error) {
 			}
 		}
 		return 0, err
+	}
+	if garble && len(p) > 0 {
+		// The device silently flips one seeded bit of the payload and then
+		// reports a clean write.
+		q := append([]byte(nil), p...)
+		f.fs.mu.Lock()
+		q[f.fs.rng.Intn(len(q))] ^= 1 << f.fs.rng.Intn(8)
+		f.fs.mu.Unlock()
+		p = q
 	}
 	n, err := f.inner.Write(p)
 	if n > 0 {
@@ -437,7 +503,7 @@ func (f *faultFile) Write(p []byte) (int, error) {
 }
 
 func (f *faultFile) Sync() error {
-	if _, err := f.fs.check(FaultSync, f.name, 0); err != nil {
+	if _, _, err := f.fs.check(FaultSync, f.name, 0); err != nil {
 		return err
 	}
 	if err := f.inner.Sync(); err != nil {

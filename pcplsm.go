@@ -26,6 +26,7 @@ package pcplsm
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"pcplsm/internal/compress"
 	"pcplsm/internal/core"
@@ -48,6 +49,11 @@ var (
 	// ErrCorruption marks detected on-disk corruption; it implies
 	// ErrBackgroundError.
 	ErrCorruption = lsm.ErrCorruption
+	// ErrQuarantined marks reads whose key range is covered by a table that
+	// failed an integrity verification and was quarantined in scope. It
+	// implies ErrCorruption but NOT ErrBackgroundError: the rest of the key
+	// space keeps serving and the store stays writable.
+	ErrQuarantined = lsm.ErrQuarantined
 )
 
 // BackgroundRetryPolicy bounds background retries of transient flush and
@@ -63,6 +69,10 @@ type (
 	Iterator = lsm.Iterator
 	Stats    = lsm.Stats
 	Snapshot = lsm.Snapshot
+	// ScrubReport summarizes one manual integrity pass (DB.Scrub);
+	// TableScrubResult is its per-table outcome.
+	ScrubReport      = lsm.ScrubReport
+	TableScrubResult = lsm.TableScrubResult
 )
 
 // Compaction selects and tunes the compaction procedure.
@@ -180,6 +190,22 @@ type Options struct {
 	// errors before the store degrades to read-only. Detected corruption
 	// and WAL-append failures are never retried.
 	BackgroundRetry BackgroundRetryPolicy
+
+	// ParanoidChecks re-reads and verifies every flush and compaction
+	// output against its just-written metadata (block checksums, key order,
+	// entry count, whole-file digest) before the manifest references it. A
+	// failing output is discarded and rebuilt; the extra read pass roughly
+	// doubles the read cost of producing a table.
+	ParanoidChecks bool
+	// ScrubInterval enables the background integrity scrubber: every
+	// interval it verifies one live table (yielding to compaction I/O) and
+	// quarantines any that fail, cycling over the whole tree and resuming
+	// across restarts. 0 disables background scrubbing; DB.Scrub still
+	// works either way.
+	ScrubInterval time.Duration
+	// ScrubBytesPerSec rate-limits background scrub reads (0 = default
+	// 8 MiB/s, negative = unlimited).
+	ScrubBytesPerSec int64
 	// Logf receives progress lines when set.
 	Logf func(format string, args ...any)
 }
@@ -268,6 +294,9 @@ func Open(opts Options) (*DB, error) {
 		PolicyTunerWindow:     opts.PolicyTunerWindow,
 		DisableTrivialMove:    opts.DisableTrivialMove,
 		BackgroundRetry:       opts.BackgroundRetry,
+		ParanoidChecks:        opts.ParanoidChecks,
+		ScrubInterval:         opts.ScrubInterval,
+		ScrubBytesPerSec:      opts.ScrubBytesPerSec,
 		Logf:                  opts.Logf,
 	})
 	if err != nil {
@@ -297,6 +326,13 @@ func (db *DB) GetSnapshot() (*Snapshot, error) { return db.inner.GetSnapshot() }
 
 // Flush forces the memtable to disk.
 func (db *DB) Flush() error { return db.inner.Flush() }
+
+// Scrub synchronously verifies every live table against its manifest
+// record — block checksums, key order, bounds, entry count, whole-file
+// digest — quarantining any table that fails, and returns the per-table
+// report. Unlike the background scrubber it does not rate-limit or yield
+// to compaction I/O.
+func (db *DB) Scrub() (ScrubReport, error) { return db.inner.Scrub() }
 
 // Compact synchronously runs one compaction from the given level.
 func (db *DB) Compact(level int) error { return db.inner.CompactLevel(level) }
